@@ -1,0 +1,13 @@
+#!/bin/bash
+# Assemble the final bench_output.txt from the three run files.
+cd /root/repo
+{
+  cat bench_output.txt
+  echo
+  echo "### RUNNING bench_fig9_tables8_9_jsma (ran concurrently; see EXPERIMENTS.md note)"
+  cat .fig9_out.txt
+  echo
+  cat bench_output_part2.txt
+} > bench_output_final.txt
+mv bench_output_final.txt bench_output.txt
+rm -f .fig8_out.txt .fig9_out.txt bench_output_part2.txt .adv_done .rest_done .bench_done .run_rest.sh .assemble.sh

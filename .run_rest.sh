@@ -1,0 +1,29 @@
+#!/bin/bash
+cd /root/repo
+B=build/bench
+{
+  echo "### RUNNING bench_fig3_mnist_dataset_defaults"
+  $B/bench_fig3_mnist_dataset_defaults
+  echo
+  echo "### RUNNING bench_fig5_caffe_convergence"
+  $B/bench_fig5_caffe_convergence
+  echo
+  echo "### RUNNING bench_fig6_mnist_framework_defaults"
+  $B/bench_fig6_mnist_framework_defaults
+  echo
+  echo "### RUNNING bench_fig4_cifar_dataset_defaults (reduced: DLB_CIFAR_FLOPS=8e11)"
+  DLB_CIFAR_FLOPS=8e11 $B/bench_fig4_cifar_dataset_defaults
+  echo
+  echo "### RUNNING bench_fig7_cifar_framework_defaults (reduced iteration floor: DLB_ITER_FRACTION=0.02)"
+  DLB_ITER_FRACTION=0.02 $B/bench_fig7_cifar_framework_defaults
+  echo
+  echo "### RUNNING bench_fig8_fgsm_untargeted (tightened attack budget)"
+  $B/bench_fig8_fgsm_untargeted
+  echo
+  echo "### RUNNING bench_micro_tensor"
+  $B/bench_micro_tensor --benchmark_min_time=0.05
+  echo
+  echo "### RUNNING bench_ablation_execution"
+  $B/bench_ablation_execution --benchmark_min_time=0.05
+} > /root/repo/bench_output_part2.txt 2>&1
+echo DONE > /root/repo/.rest_done

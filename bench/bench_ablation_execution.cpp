@@ -1,0 +1,139 @@
+// Ablation bench for the design choices DESIGN.md section 5 calls out:
+//   * device model — serial vs parallel execution of one training step;
+//   * conv implementation — GEMM (im2col) vs direct loops (the Torch
+//     CPU/GPU split);
+//   * regularizer — dropout vs weight decay vs none, measured as the
+//     training-step overhead each adds;
+//   * execution model — TF-like graph-compile (prepare) cost vs the
+//     per-step cost it amortizes.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.hpp"
+#include "frameworks/emulations.hpp"
+#include "frameworks/registry.hpp"
+#include "nn/conv_direct.hpp"
+
+namespace {
+
+using namespace dlbench;
+using frameworks::DatasetId;
+using frameworks::FrameworkKind;
+using runtime::Device;
+
+struct StepFixture {
+  data::DatasetPair mnist;
+  data::Batch batch;
+
+  StepFixture() {
+    data::MnistOptions d;
+    d.train_samples = 128;
+    d.test_samples = 16;
+    mnist = data::synthetic_mnist(d);
+    data::DataLoader loader(mnist.train, 64, false, util::Rng(1));
+    loader.next(batch);
+  }
+};
+
+StepFixture& fixture() {
+  static StepFixture fx;
+  return fx;
+}
+
+// One full forward+backward step of the Caffe MNIST net, by device.
+void BM_TrainStepByDevice(benchmark::State& state) {
+  auto& fx = fixture();
+  const Device dev =
+      state.range(0) ? Device::gpu() : Device::cpu();
+  auto fw = frameworks::make_framework(FrameworkKind::kCaffe);
+  auto spec = frameworks::default_network_spec(FrameworkKind::kCaffe,
+                                               DatasetId::kMnist);
+  util::Rng rng(2);
+  nn::Sequential model = fw->build_model(spec, dev, rng);
+  nn::Context ctx;
+  ctx.device = dev;
+  ctx.training = true;
+  util::Rng drng(3);
+  ctx.rng = &drng;
+  for (auto _ : state) {
+    model.zero_grads();
+    auto loss = model.forward_loss(fx.batch.images, fx.batch.labels, ctx);
+    auto dx = model.backward(loss, fx.batch.labels, ctx);
+    benchmark::DoNotOptimize(dx.raw());
+  }
+}
+BENCHMARK(BM_TrainStepByDevice)->Arg(0)->Arg(1);
+
+// Same step with the conv implementation swapped (Torch's CPU kernel).
+void BM_TrainStepByConvImpl(benchmark::State& state) {
+  auto& fx = fixture();
+  const auto impl = state.range(0) ? nn::ConvImpl::kDirect
+                                   : nn::ConvImpl::kGemm;
+  auto spec = frameworks::default_network_spec(FrameworkKind::kTorch,
+                                               DatasetId::kMnist);
+  util::Rng rng(4);
+  nn::Sequential model = nn::build_model(spec, rng, impl);
+  nn::Context ctx;
+  ctx.device = Device::cpu();
+  ctx.training = true;
+  for (auto _ : state) {
+    model.zero_grads();
+    auto loss = model.forward_loss(fx.batch.images, fx.batch.labels, ctx);
+    auto dx = model.backward(loss, fx.batch.labels, ctx);
+    benchmark::DoNotOptimize(dx.raw());
+  }
+}
+BENCHMARK(BM_TrainStepByConvImpl)->Arg(0)->Arg(1);
+
+// Regularizer cost: none vs dropout(0.5) vs weight decay in the
+// optimizer — isolates what each framework's choice costs per step.
+void BM_TrainStepByRegularizer(benchmark::State& state) {
+  auto& fx = fixture();
+  const int mode = static_cast<int>(state.range(0));
+  const Device dev = Device::gpu();
+  auto base_spec = frameworks::default_network_spec(FrameworkKind::kCaffe,
+                                                    DatasetId::kMnist);
+  util::Rng rng(5);
+  nn::Sequential model =
+      mode == 1
+          ? frameworks::make_framework(FrameworkKind::kTensorFlow)
+                ->build_model(base_spec, dev, rng)  // injects dropout
+          : nn::build_model(base_spec, rng);
+  optim::Sgd sgd(optim::LrSchedule(0.01), 0.9,
+                 mode == 2 ? 0.0005 : 0.0);
+  nn::Context ctx;
+  ctx.device = dev;
+  ctx.training = true;
+  util::Rng drng(6);
+  ctx.rng = &drng;
+  std::int64_t step = 0;
+  for (auto _ : state) {
+    model.zero_grads();
+    auto loss = model.forward_loss(fx.batch.images, fx.batch.labels, ctx);
+    model.backward(loss, fx.batch.labels, ctx);
+    sgd.step(model.params(), model.grads(), step++, dev);
+  }
+}
+BENCHMARK(BM_TrainStepByRegularizer)->Arg(0)->Arg(1)->Arg(2);
+
+// TF-like graph-compile (prepare) cost: one-time dry-run trace.
+void BM_TfGraphCompile(benchmark::State& state) {
+  auto& fx = fixture();
+  auto tf = frameworks::make_framework(FrameworkKind::kTensorFlow);
+  auto spec = frameworks::default_network_spec(FrameworkKind::kTensorFlow,
+                                               DatasetId::kMnist);
+  const Device dev = Device::gpu();
+  nn::Context ctx;
+  ctx.device = dev;
+  util::Rng rng(7);
+  nn::Sequential model = tf->build_model(spec, dev, rng);
+  tensor::Tensor sample = fx.mnist.train.sample(0);
+  for (auto _ : state) {
+    tf->prepare(model, sample, ctx);
+  }
+}
+BENCHMARK(BM_TfGraphCompile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared helpers for the table/figure reproduction binaries.
+
+#include <array>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/paper_values.hpp"
+#include "core/dlbench.hpp"
+
+namespace dlbench::bench {
+
+using core::Harness;
+using core::RunRecord;
+using frameworks::DatasetId;
+using frameworks::FrameworkKind;
+
+/// Prints measured rows next to the published rows and simple shape
+/// checks (who is fastest / most accurate), for one device class.
+inline void print_vs_paper(const std::string& title,
+                           const std::vector<RunRecord>& records,
+                           const std::vector<PaperCell>& paper) {
+  util::Table table({"Framework", "Setting", "Device", "Train (s)",
+                     "Paper train (s)", "Test (s)", "Paper test (s)",
+                     "Acc (%)", "Paper acc (%)", "Converged"});
+  table.set_title(title);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    const auto& p = paper[i];
+    table.add_row({r.framework, r.setting, r.device,
+                   util::format_seconds(r.train.train_time_s),
+                   util::format_seconds(p.train_s),
+                   util::format_seconds(r.eval.test_time_s),
+                   util::format_seconds(p.test_s),
+                   util::format_percent(r.eval.accuracy_pct),
+                   util::format_percent(p.accuracy_pct),
+                   r.train.converged ? "yes" : "NO"});
+  }
+  std::cout << table << "\n";
+}
+
+/// Index of min/max over a metric extracted from records.
+template <typename Get>
+std::size_t argmin(const std::vector<RunRecord>& rs, Get get) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < rs.size(); ++i)
+    if (get(rs[i]) < get(rs[best])) best = i;
+  return best;
+}
+template <typename Get>
+std::size_t argmax(const std::vector<RunRecord>& rs, Get get) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < rs.size(); ++i)
+    if (get(rs[i]) > get(rs[best])) best = i;
+  return best;
+}
+
+inline void shape_check(const std::string& what, bool holds) {
+  std::cout << "  shape check: " << what << " — "
+            << (holds ? "HOLDS" : "DIFFERS") << "\n";
+}
+
+}  // namespace dlbench::bench

@@ -1,0 +1,70 @@
+// Figure 1 / Table VIa — MNIST with each framework's own MNIST default
+// setting, CPU and GPU. Reproduces training time, testing time and
+// accuracy panels plus the GPU-speedup observations of section III-B.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace dlbench;
+  using namespace dlbench::bench;
+
+  core::HarnessOptions options = core::HarnessOptions::from_env();
+  core::print_banner("Fig 1 / Table VIa",
+                     "MNIST baselines (own defaults), CPU + GPU", options);
+  Harness harness(options);
+
+  std::vector<RunRecord> cpu_records, gpu_records;
+  for (bool gpu : {false, true}) {
+    const auto device =
+        gpu ? runtime::Device::gpu() : runtime::Device::cpu();
+    std::vector<RunRecord>& records = gpu ? gpu_records : cpu_records;
+    for (FrameworkKind fw : frameworks::kAllFrameworks) {
+      records.push_back(
+          harness.run_default(fw, DatasetId::kMnist, device));
+      std::cout << core::summarize(records.back()) << "\n";
+    }
+    const auto& paper = gpu ? kMnistBaselineGpu : kMnistBaselineCpu;
+    print_vs_paper(std::string("Fig 1 — MNIST baselines (") +
+                       device.name() + ")",
+                   records, {paper.begin(), paper.end()});
+
+    // Paper shape findings for this panel.
+    auto acc = [](const RunRecord& r) { return r.eval.accuracy_pct; };
+    auto test_time = [](const RunRecord& r) { return r.eval.test_time_s; };
+    shape_check("all frameworks above 97% on MNIST",
+                records[0].eval.accuracy_pct > 97 &&
+                    records[1].eval.accuracy_pct > 97 &&
+                    records[2].eval.accuracy_pct > 97);
+    shape_check("Torch has the longest testing time (paper obs. 1)",
+                argmax(records, test_time) == 2);
+    shape_check("TensorFlow has the highest accuracy (paper obs. 1)",
+                argmax(records, acc) == 0);
+  }
+
+  std::cout << "\nGPU acceleration factors (paper: TF 16x/10x, Caffe 5x/6x,"
+               " Torch 28x/32x on a 1080 Ti; here the parallel device has "
+            << runtime::Device::gpu().workers()
+            << " workers, so expected factors are <= that):\n";
+  for (std::size_t i = 0; i < cpu_records.size(); ++i) {
+    const auto& cpu = cpu_records[i];
+    const auto& gpu = gpu_records[i];
+    std::cout << "  " << cpu.framework << ": train "
+              << util::format_fixed(
+                     cpu.train.train_time_s / gpu.train.train_time_s, 2)
+              << "x, test "
+              << util::format_fixed(
+                     cpu.eval.test_time_s / gpu.eval.test_time_s, 2)
+              << "x\n";
+  }
+  shape_check("GPU shortens training time for every framework (obs. 3)",
+              cpu_records[0].train.train_time_s >
+                      gpu_records[0].train.train_time_s &&
+                  cpu_records[1].train.train_time_s >
+                      gpu_records[1].train.train_time_s &&
+                  cpu_records[2].train.train_time_s >
+                      gpu_records[2].train.train_time_s);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 2 / Table VIIa — CIFAR-10 with each framework's own CIFAR-10
+// default setting, CPU and GPU.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace dlbench;
+  using namespace dlbench::bench;
+
+  core::HarnessOptions options = core::HarnessOptions::from_env();
+  core::print_banner("Fig 2 / Table VIIa",
+                     "CIFAR-10 baselines (own defaults), CPU + GPU",
+                     options);
+  Harness harness(options);
+
+  std::vector<RunRecord> cpu_records, gpu_records;
+  for (bool gpu : {false, true}) {
+    const auto device =
+        gpu ? runtime::Device::gpu() : runtime::Device::cpu();
+    std::vector<RunRecord>& records = gpu ? gpu_records : cpu_records;
+    for (FrameworkKind fw : frameworks::kAllFrameworks) {
+      records.push_back(
+          harness.run_default(fw, DatasetId::kCifar10, device));
+      std::cout << core::summarize(records.back()) << "\n";
+    }
+    const auto& paper = gpu ? kCifarBaselineGpu : kCifarBaselineCpu;
+    print_vs_paper(std::string("Fig 2 — CIFAR-10 baselines (") +
+                       device.name() + ")",
+                   records, {paper.begin(), paper.end()});
+
+    auto acc = [](const RunRecord& r) { return r.eval.accuracy_pct; };
+    auto train_time = [](const RunRecord& r) { return r.train.train_time_s; };
+    shape_check("TensorFlow reaches the highest CIFAR-10 accuracy (obs. 2)",
+                argmax(records, acc) == 0);
+    shape_check("Torch reaches the lowest CIFAR-10 accuracy (obs. 1)",
+                argmin(records, acc) == 2);
+    shape_check("TensorFlow spends the most training time (obs. 2)",
+                argmax(records, train_time) == 0);
+    shape_check("Caffe spends the least training time (obs. 2)",
+                argmin(records, train_time) == 1);
+  }
+
+  // Section III-B closing observation: MNIST-vs-CIFAR entropy gap.
+  data::DatasetStats mnist_stats =
+      data::compute_stats(Harness(core::HarnessOptions::test_profile())
+                              .train_set(DatasetId::kMnist));
+  data::DatasetStats cifar_stats = data::compute_stats(
+      harness.train_set(DatasetId::kCifar10));
+  std::cout << "\nDataset entropy (paper attributes the accuracy/time gap "
+               "to MNIST's low entropy):\n  MNIST  "
+            << util::format_fixed(mnist_stats.pixel_entropy_bits, 2)
+            << " bits/pixel, sparsity "
+            << util::format_fixed(mnist_stats.sparsity, 2)
+            << "\n  CIFAR  "
+            << util::format_fixed(cifar_stats.pixel_entropy_bits, 2)
+            << " bits/pixel, sparsity "
+            << util::format_fixed(cifar_stats.sparsity, 2) << "\n";
+  shape_check("MNIST entropy < CIFAR-10 entropy",
+              mnist_stats.pixel_entropy_bits <
+                  cifar_stats.pixel_entropy_bits);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 3 / Table VIb — dataset-dependent default settings on MNIST
+// (GPU): each framework trains MNIST twice, once with its own MNIST
+// default setting and once with its own CIFAR-10 default setting.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace dlbench;
+  using namespace dlbench::bench;
+
+  core::HarnessOptions options = core::HarnessOptions::from_env();
+  core::print_banner(
+      "Fig 3 / Table VIb",
+      "MNIST under dataset-dependent default settings (GPU)", options);
+  Harness harness(options);
+  const auto device = runtime::Device::gpu();
+
+  std::vector<RunRecord> records;
+  std::vector<PaperCell> paper;
+  for (std::size_t f = 0; f < 3; ++f) {
+    const FrameworkKind fw = frameworks::kAllFrameworks[f];
+    for (std::size_t s = 0; s < 2; ++s) {
+      const DatasetId setting_ds =
+          s == 0 ? DatasetId::kMnist : DatasetId::kCifar10;
+      records.push_back(
+          harness.run(fw, fw, setting_ds, DatasetId::kMnist, device));
+      paper.push_back(kMnistDatasetDependentGpu[f][s]);
+      std::cout << core::summarize(records.back()) << "\n";
+    }
+  }
+  print_vs_paper("Fig 3 — MNIST, own-MNIST vs own-CIFAR-10 settings",
+                 records, paper);
+
+  // Paper findings for this figure.
+  shape_check(
+      "CIFAR-10 settings cost more training time for every framework",
+      records[1].train.train_time_s > records[0].train.train_time_s &&
+          records[3].train.train_time_s > records[2].train.train_time_s &&
+          records[5].train.train_time_s > records[4].train.train_time_s);
+  shape_check(
+      "TF keeps high accuracy under its CIFAR-10 setting (~99.3 paper)",
+      records[1].eval.accuracy_pct > 97.0);
+  shape_check(
+      "Torch keeps high accuracy under its CIFAR-10 setting (~99.2 paper)",
+      records[5].eval.accuracy_pct > 97.0);
+  shape_check(
+      "Caffe degrades under its CIFAR-10 setting (91.79 vs 99.13 paper)",
+      records[3].eval.accuracy_pct < records[2].eval.accuracy_pct - 1.0);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 4 / Table VIIb — dataset-dependent default settings on
+// CIFAR-10 (GPU): own MNIST setting vs own CIFAR-10 setting. Includes
+// the paper's headline failure: Caffe with its MNIST setting does not
+// converge on CIFAR-10 (11.03% in the paper).
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace dlbench;
+  using namespace dlbench::bench;
+
+  core::HarnessOptions options = core::HarnessOptions::from_env();
+  core::print_banner(
+      "Fig 4 / Table VIIb",
+      "CIFAR-10 under dataset-dependent default settings (GPU)", options);
+  Harness harness(options);
+  const auto device = runtime::Device::gpu();
+
+  std::vector<RunRecord> records;
+  std::vector<PaperCell> paper;
+  for (std::size_t f = 0; f < 3; ++f) {
+    const FrameworkKind fw = frameworks::kAllFrameworks[f];
+    for (std::size_t s = 0; s < 2; ++s) {
+      const DatasetId setting_ds =
+          s == 0 ? DatasetId::kMnist : DatasetId::kCifar10;
+      records.push_back(
+          harness.run(fw, fw, setting_ds, DatasetId::kCifar10, device));
+      paper.push_back(kCifarDatasetDependentGpu[f][s]);
+      std::cout << core::summarize(records.back()) << "\n";
+    }
+  }
+  print_vs_paper("Fig 4 — CIFAR-10, own-MNIST vs own-CIFAR-10 settings",
+                 records, paper);
+
+  shape_check(
+      "MNIST settings train faster than CIFAR-10 settings everywhere",
+      records[0].train.train_time_s < records[1].train.train_time_s &&
+          records[2].train.train_time_s < records[3].train.train_time_s &&
+          records[4].train.train_time_s < records[5].train.train_time_s);
+  shape_check("TF loses accuracy under its MNIST setting (69.76 vs 87.00)",
+              records[0].eval.accuracy_pct <
+                  records[1].eval.accuracy_pct - 3.0);
+  shape_check(
+      "Caffe collapses under its MNIST setting (11.03 in the paper)",
+      records[2].eval.accuracy_pct < 35.0);
+  shape_check("Torch is roughly setting-insensitive (66.40 vs 65.61)",
+              std::abs(records[4].eval.accuracy_pct -
+                       records[5].eval.accuracy_pct) < 15.0);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 6 / Table VIc — framework-dependent default settings on MNIST
+// (GPU): the full 3x3 grid of executing framework x setting owner.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace dlbench;
+  using namespace dlbench::bench;
+
+  core::HarnessOptions options = core::HarnessOptions::from_env();
+  core::print_banner(
+      "Fig 6 / Table VIc",
+      "MNIST under framework-dependent default settings (GPU, 3x3 grid)",
+      options);
+  Harness harness(options);
+  const auto device = runtime::Device::gpu();
+
+  std::vector<RunRecord> records;
+  std::vector<PaperCell> paper;
+  for (std::size_t f = 0; f < 3; ++f) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      records.push_back(harness.run(frameworks::kAllFrameworks[f],
+                                    frameworks::kAllFrameworks[s],
+                                    DatasetId::kMnist, DatasetId::kMnist,
+                                    device));
+      paper.push_back(kMnistFrameworkDependentGpu[f][s]);
+      std::cout << core::summarize(records.back()) << "\n";
+    }
+  }
+  print_vs_paper("Fig 6 — MNIST, framework x setting grid", records, paper);
+
+  // Records are indexed f*3+s.
+  auto rec = [&](std::size_t f, std::size_t s) -> const RunRecord& {
+    return records[f * 3 + s];
+  };
+  shape_check(
+      "Caffe's MNIST setting gives every framework its fastest training "
+      "(paper obs. 1: fewest epochs, simplest net)",
+      rec(0, 1).train.train_time_s <= rec(0, 0).train.train_time_s &&
+          rec(0, 1).train.train_time_s <= rec(0, 2).train.train_time_s &&
+          rec(1, 1).train.train_time_s <= rec(1, 0).train.train_time_s &&
+          rec(1, 1).train.train_time_s <= rec(1, 2).train.train_time_s &&
+          rec(2, 1).train.train_time_s <= rec(2, 0).train.train_time_s &&
+          rec(2, 1).train.train_time_s <= rec(2, 2).train.train_time_s);
+  shape_check("every cell stays above 90% accuracy (paper range 94-99.9)",
+              [&] {
+                for (const auto& r : records)
+                  if (r.eval.accuracy_pct < 90.0) return false;
+                return true;
+              }());
+  shape_check("TF's own setting beats Caffe/Torch settings on TF",
+              rec(0, 0).eval.accuracy_pct >=
+                  rec(0, 1).eval.accuracy_pct - 0.5);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7 / Table VIIc — framework-dependent default settings on
+// CIFAR-10 (GPU): the full 3x3 grid, including the paper's second
+// headline failure (Caffe with TF's CIFAR-10 setting does not converge,
+// 10.10%).
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace dlbench;
+  using namespace dlbench::bench;
+
+  core::HarnessOptions options = core::HarnessOptions::from_env();
+  core::print_banner(
+      "Fig 7 / Table VIIc",
+      "CIFAR-10 under framework-dependent default settings (GPU, 3x3)",
+      options);
+  Harness harness(options);
+  const auto device = runtime::Device::gpu();
+
+  std::vector<RunRecord> records;
+  std::vector<PaperCell> paper;
+  for (std::size_t f = 0; f < 3; ++f) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      records.push_back(harness.run(frameworks::kAllFrameworks[f],
+                                    frameworks::kAllFrameworks[s],
+                                    DatasetId::kCifar10,
+                                    DatasetId::kCifar10, device));
+      paper.push_back(kCifarFrameworkDependentGpu[f][s]);
+      std::cout << core::summarize(records.back()) << "\n";
+    }
+  }
+  print_vs_paper("Fig 7 — CIFAR-10, framework x setting grid", records,
+                 paper);
+
+  auto rec = [&](std::size_t f, std::size_t s) -> const RunRecord& {
+    return records[f * 3 + s];
+  };
+  shape_check("Caffe's own CIFAR-10 setting trains fastest on Caffe",
+              rec(1, 1).train.train_time_s <=
+                      rec(1, 0).train.train_time_s &&
+                  rec(1, 1).train.train_time_s <=
+                      rec(1, 2).train.train_time_s);
+  shape_check(
+      "TF's CIFAR-10 setting is the slowest choice for Caffe and Torch "
+      "(paper obs. 1)",
+      rec(1, 0).train.train_time_s >= rec(1, 1).train.train_time_s &&
+          rec(2, 0).train.train_time_s >= rec(2, 1).train.train_time_s &&
+          rec(2, 0).train.train_time_s >= rec(2, 2).train.train_time_s);
+  shape_check(
+      "Caffe + TF CIFAR-10 setting fails to converge (10.10% paper)",
+      !rec(1, 0).train.converged || rec(1, 0).eval.accuracy_pct < 35.0);
+  shape_check("TF and Caffe peak with their own settings (paper obs. 3)",
+              rec(0, 0).eval.accuracy_pct >= rec(0, 1).eval.accuracy_pct &&
+                  rec(0, 0).eval.accuracy_pct >=
+                      rec(0, 2).eval.accuracy_pct &&
+                  rec(1, 1).eval.accuracy_pct >=
+                      rec(1, 0).eval.accuracy_pct &&
+                  rec(1, 1).eval.accuracy_pct >=
+                      rec(1, 2).eval.accuracy_pct);
+  shape_check(
+      "Torch does better with TF's setting than its own (73.74 vs 65.61 "
+      "paper), at much higher training cost",
+      rec(2, 0).eval.accuracy_pct > rec(2, 2).eval.accuracy_pct &&
+          rec(2, 0).train.train_time_s > rec(2, 2).train.train_time_s);
+  return 0;
+}

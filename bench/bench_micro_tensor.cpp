@@ -1,0 +1,123 @@
+// Microbenchmarks for the tensor kernels that dominate every
+// experiment: GEMM, im2col convolution, direct convolution, pooling,
+// softmax. Uses google-benchmark. Shapes are taken from the paper's
+// actual layers (Tables IV and V).
+
+#include <benchmark/benchmark.h>
+
+#include "nn/conv_direct.hpp"
+#include "nn/layers.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
+
+namespace {
+
+using namespace dlbench;
+using runtime::Device;
+using tensor::Shape;
+using tensor::Tensor;
+
+Device device_for(bool parallel) {
+  return parallel ? Device::gpu() : Device::cpu();
+}
+
+// GEMM at the TF-MNIST fc1 shape: [batch, 3136] x [3136, 1024].
+void BM_MatmulFc1(benchmark::State& state) {
+  const auto batch = state.range(0);
+  const Device dev = device_for(state.range(1));
+  util::Rng rng(1);
+  Tensor a = Tensor::randn(Shape({batch, 3136}), rng);
+  Tensor b = Tensor::randn(Shape({3136, 1024}), rng);
+  for (auto _ : state) {
+    Tensor c = tensor::matmul(a, b, dev);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 3136 * 1024 * 2);
+}
+BENCHMARK(BM_MatmulFc1)->Args({16, 0})->Args({16, 1})->Args({64, 1});
+
+// Conv at the Caffe-MNIST conv1 shape: 1->20, 5x5, 28x28 input.
+void BM_ConvGemmLenet1(benchmark::State& state) {
+  const auto batch = state.range(0);
+  const Device dev = device_for(state.range(1));
+  tensor::ConvGeom g{1, 28, 28, 20, 5, 1, 0};
+  util::Rng rng(2);
+  Tensor x = Tensor::randn(Shape({batch, 1, 28, 28}), rng);
+  Tensor w = Tensor::randn(Shape({20, g.patch_size()}), rng);
+  Tensor b = Tensor::randn(Shape({20}), rng);
+  for (auto _ : state) {
+    Tensor y = tensor::conv2d_forward(x, w, b, g, dev);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_ConvGemmLenet1)->Args({16, 0})->Args({16, 1})->Args({64, 1});
+
+// GEMM vs direct convolution — the Torch CPU/GPU implementation split.
+void BM_ConvDirectVsGemm(benchmark::State& state) {
+  const bool direct = state.range(0);
+  tensor::ConvGeom g{32, 11, 11, 64, 5, 1, 0};  // Torch MNIST conv2
+  util::Rng rng(3);
+  nn::Context ctx;
+  ctx.device = Device::cpu();
+  Tensor x = Tensor::randn(Shape({8, 32, 11, 11}), rng);
+  if (direct) {
+    nn::Conv2dDirect conv(g, tensor::InitKind::kLecunUniform, rng);
+    for (auto _ : state) {
+      Tensor y = conv.forward(x, ctx);
+      benchmark::DoNotOptimize(y.raw());
+    }
+  } else {
+    nn::Conv2d conv(g, tensor::InitKind::kLecunUniform, rng);
+    for (auto _ : state) {
+      Tensor y = conv.forward(x, ctx);
+      benchmark::DoNotOptimize(y.raw());
+    }
+  }
+}
+BENCHMARK(BM_ConvDirectVsGemm)->Arg(0)->Arg(1);
+
+void BM_MaxPool(benchmark::State& state) {
+  const Device dev = device_for(state.range(0));
+  tensor::PoolGeom g{64, 32, 32, 3, 2, false};
+  util::Rng rng(4);
+  Tensor x = Tensor::randn(Shape({32, 64, 32, 32}), rng);
+  std::vector<std::int32_t> argmax;
+  for (auto _ : state) {
+    Tensor y = tensor::maxpool_forward(x, g, argmax, dev);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_MaxPool)->Arg(0)->Arg(1);
+
+void BM_SoftmaxXent(benchmark::State& state) {
+  const Device dev = device_for(state.range(0));
+  util::Rng rng(5);
+  Tensor logits = Tensor::randn(Shape({256, 10}), rng);
+  std::vector<std::int64_t> labels(256);
+  for (std::size_t i = 0; i < labels.size(); ++i) labels[i] = i % 10;
+  for (auto _ : state) {
+    Tensor p = tensor::softmax_rows(logits, dev);
+    const double loss = tensor::cross_entropy_mean(p, labels);
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_SoftmaxXent)->Arg(0)->Arg(1);
+
+void BM_Lrn(benchmark::State& state) {
+  util::Rng rng(6);
+  nn::Context ctx;
+  ctx.device = device_for(state.range(0));
+  nn::LocalResponseNorm lrn;
+  Tensor x = Tensor::randn(Shape({32, 64, 15, 15}), rng);
+  for (auto _ : state) {
+    Tensor y = lrn.forward(x, ctx);
+    benchmark::DoNotOptimize(y.raw());
+  }
+}
+BENCHMARK(BM_Lrn)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

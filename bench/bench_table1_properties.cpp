@@ -1,0 +1,40 @@
+// Table I — deep learning software frameworks and basic properties.
+// Prints the published row for each framework alongside what this
+// repository actually executes (the emulation).
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace dlbench;
+  using namespace dlbench::bench;
+
+  std::cout << "Table I — Deep Learning Software Frameworks and Basic "
+               "Properties (paper row + emulation note)\n\n";
+
+  util::Table table({"Framework", "Version", "Hash Tag", "Library",
+                     "Interface", "LoC", "License", "Website"});
+  for (FrameworkKind kind : frameworks::kAllFrameworks) {
+    frameworks::FrameworkInfo info = frameworks::framework_info(kind);
+    table.add_row({info.name, info.paper_version, info.paper_hash,
+                   info.paper_library, info.paper_interface,
+                   std::to_string(info.paper_loc), info.paper_license,
+                   info.paper_website});
+  }
+  std::cout << table << "\n";
+
+  std::cout << "Emulations in this repository (DESIGN.md section 2):\n";
+  for (FrameworkKind kind : frameworks::kAllFrameworks) {
+    frameworks::FrameworkInfo info = frameworks::framework_info(kind);
+    std::cout << "  " << info.name << ": " << info.emulation << "\n";
+  }
+
+  std::cout << "\nRegularizers under comparison (paper Table IX):\n";
+  for (FrameworkKind kind : frameworks::kAllFrameworks) {
+    auto fw = frameworks::make_framework(kind);
+    std::cout << "  " << fw->name() << ": "
+              << frameworks::to_string(fw->regularizer()) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+#pragma once
+
+// Published numbers from the paper's tables and figures, used by every
+// bench binary to print paper-vs-measured comparisons. Row order is
+// always {TensorFlow, Caffe, Torch} and digit order 0..9, matching the
+// paper's layout.
+
+#include <array>
+
+namespace dlbench::bench {
+
+struct PaperCell {
+  double train_s;
+  double test_s;
+  double accuracy_pct;
+};
+
+// Table VIa — MNIST baseline defaults.
+inline constexpr std::array<PaperCell, 3> kMnistBaselineCpu = {{
+    {1114.34, 2.73, 99.28},   // TF
+    {512.18, 3.33, 99.03},    // Caffe
+    {16096.62, 56.62, 99.20}, // Torch
+}};
+inline constexpr std::array<PaperCell, 3> kMnistBaselineGpu = {{
+    {68.51, 0.26, 99.22},
+    {97.02, 0.55, 99.13},
+    {563.28, 1.76, 99.18},
+}};
+
+// Table VIIa — CIFAR-10 baseline defaults.
+inline constexpr std::array<PaperCell, 3> kCifarBaselineCpu = {{
+    {219169.14, 4.80, 86.90},
+    {1730.89, 14.35, 75.39},
+    {38268.67, 121.11, 66.16},
+}};
+inline constexpr std::array<PaperCell, 3> kCifarBaselineGpu = {{
+    {12477.05, 2.34, 87.00},
+    {163.51, 1.36, 75.52},
+    {722.15, 3.66, 65.61},
+}};
+
+// Table VIb — dataset-dependent defaults on MNIST (GPU). Per framework:
+// {own MNIST setting, own CIFAR-10 setting}.
+inline constexpr std::array<std::array<PaperCell, 2>, 3>
+    kMnistDatasetDependentGpu = {{
+        {{{68.51, 0.26, 99.22}, {14273.59, 0.60, 99.31}}},   // TF
+        {{{97.02, 0.55, 99.13}, {164.68, 1.47, 91.79}}},     // Caffe
+        {{{563.28, 1.76, 99.18}, {2978.52, 3.70, 99.17}}},   // Torch
+    }};
+
+// Table VIIb — dataset-dependent defaults on CIFAR-10 (GPU).
+inline constexpr std::array<std::array<PaperCell, 2>, 3>
+    kCifarDatasetDependentGpu = {{
+        {{{151.67, 1.32, 69.76}, {12477.05, 2.34, 87.00}}},  // TF
+        {{{115.30, 0.64, 11.03}, {163.51, 1.36, 75.52}}},    // Caffe
+        {{{638.00, 3.47, 66.40}, {722.15, 3.66, 65.61}}},    // Torch
+    }};
+
+// Table VIc — framework-dependent defaults on MNIST (GPU). Outer index:
+// executing framework; inner index: setting owner (TF, Caffe, Torch).
+inline constexpr std::array<std::array<PaperCell, 3>, 3>
+    kMnistFrameworkDependentGpu = {{
+        {{{68.51, 0.26, 99.22}, {21.32, 0.12, 98.51}, {176.23, 0.13, 99.10}}},
+        {{{206.66, 0.71, 99.94}, {97.02, 0.55, 99.13}, {235.57, 0.76, 94.14}}},
+        {{{321.63, 1.53, 99.11}, {187.54, 1.37, 98.78}, {563.28, 1.76, 99.18}}},
+    }};
+
+// Table VIIc — framework-dependent defaults on CIFAR-10 (GPU).
+inline constexpr std::array<std::array<PaperCell, 3>, 3>
+    kCifarFrameworkDependentGpu = {{
+        {{{12477.05, 2.34, 87.00}, {32.98, 1.40, 55.96}, {2100.61, 7.10, 55.04}}},
+        {{{33908.43, 0.91, 10.10}, {163.51, 1.36, 75.52}, {682.58, 0.58, 59.27}}},
+        {{{126304.27, 4.18, 73.74}, {396.86, 4.11, 31.47}, {722.15, 3.66, 65.61}}},
+    }};
+
+// Fig 8a/8b — untargeted FGSM success rate per source digit.
+inline constexpr std::array<double, 10> kFgsmSuccessTf = {
+    0.997, 0.998, 0.892, 0.977, 0.977, 0.989, 0.975, 0.992, 0.979, 0.988};
+inline constexpr std::array<double, 10> kFgsmSuccessCaffe = {
+    1.000, 1.000, 0.979, 0.986, 0.995, 0.984, 0.995, 0.988, 0.985, 0.991};
+
+// Fig 9 / Table IX — JSMA success rate of crafting digit 1 into class t
+// (index by target class; class 1 itself is not attacked). Rows:
+// TF(TF), TF(Caffe), Caffe(TF), Caffe(Caffe) — framework(setting).
+inline constexpr std::array<std::array<double, 10>, 4> kJsmaDigit1 = {{
+    {0.014, 0.0, 0.802, 0.596, 0.421, 0.022, 0.070, 0.633, 0.991, 0.271},
+    {0.018, 0.0, 0.721, 0.482, 0.377, 0.025, 0.113, 0.582, 0.823, 0.119},
+    {0.584, 0.0, 0.893, 0.802, 0.721, 0.046, 0.533, 0.912, 0.925, 0.327},
+    {0.924, 0.0, 0.995, 0.995, 0.993, 0.049, 0.870, 0.982, 0.998, 0.441},
+}};
+inline constexpr std::array<const char*, 4> kJsmaRowLabels = {
+    "TF (TF)", "TF (Caffe)", "Caffe (TF)", "Caffe (Caffe)"};
+
+// Table VIII — average crafting time of targeted attacks (minutes).
+inline constexpr std::array<double, 4> kJsmaCraftMinutes = {113, 92, 187,
+                                                            134};
+
+}  // namespace dlbench::bench

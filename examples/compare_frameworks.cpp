@@ -1,0 +1,30 @@
+// Compare the three framework emulations on both synthetic datasets
+// using each framework's own default settings (a miniature of the
+// paper's Figures 1 and 2, GPU device).
+
+#include <iostream>
+#include <vector>
+
+#include "core/dlbench.hpp"
+
+int main() {
+  using namespace dlbench;
+  using frameworks::DatasetId;
+  using frameworks::FrameworkKind;
+
+  core::Harness harness;
+  const auto device = runtime::Device::gpu();
+
+  for (DatasetId data : frameworks::kAllDatasets) {
+    std::vector<core::RunRecord> records;
+    for (FrameworkKind fw : frameworks::kAllFrameworks) {
+      records.push_back(harness.run_default(fw, data, device));
+      std::cout << core::summarize(records.back()) << "\n";
+    }
+    std::cout << core::results_table(
+        std::string("Baseline comparison on ") + frameworks::to_string(data),
+        records);
+    std::cout << "\n";
+  }
+  return 0;
+}

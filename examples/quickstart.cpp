@@ -1,0 +1,42 @@
+// Quickstart: train one framework emulation on synthetic MNIST with its
+// own default setting and print the paper-style metrics.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/dlbench.hpp"
+
+int main() {
+  using namespace dlbench;
+  using frameworks::DatasetId;
+  using frameworks::FrameworkKind;
+
+  // The harness owns the synthetic datasets and the scaling policy.
+  // Sizes can be overridden with DLB_MNIST_TRAIN etc.
+  core::HarnessOptions options = core::HarnessOptions::from_env();
+  core::Harness harness(options);
+
+  std::cout << "DLBench quickstart: Caffe emulation, MNIST default setting\n";
+
+  // CPU run (serial device) ...
+  auto cpu = harness.run_default(FrameworkKind::kCaffe, DatasetId::kMnist,
+                                 runtime::Device::cpu());
+  std::cout << core::summarize(cpu) << "\n";
+
+  // ... and GPU run (parallel device), same code path.
+  auto gpu = harness.run_default(FrameworkKind::kCaffe, DatasetId::kMnist,
+                                 runtime::Device::gpu());
+  std::cout << core::summarize(gpu) << "\n";
+
+  std::cout << "\nGPU speedup: training "
+            << util::format_fixed(
+                   cpu.train.train_time_s / gpu.train.train_time_s, 1)
+            << "x, testing "
+            << util::format_fixed(cpu.eval.test_time_s / gpu.eval.test_time_s,
+                                  1)
+            << "x\n";
+  return 0;
+}

@@ -1,0 +1,288 @@
+#include "adversarial/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "runtime/stopwatch.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::adversarial {
+
+namespace {
+
+std::int64_t predict_one(Sequential& model, const Tensor& x,
+                         const Context& ctx) {
+  Context eval = ctx;
+  eval.training = false;
+  Tensor logits = model.forward(x, eval);
+  return tensor::argmax_row(logits, 0);
+}
+
+double l0_distortion(const Tensor& a, const Tensor& b) {
+  std::int64_t changed = 0;
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    if (pa[i] != pb[i]) ++changed;
+  return static_cast<double>(changed) / static_cast<double>(a.numel());
+}
+
+}  // namespace
+
+AttackOutcome fgsm_attack(Sequential& model, const Tensor& x,
+                          std::int64_t label, const FgsmOptions& options,
+                          const Context& ctx) {
+  DLB_CHECK(x.shape().rank() == 4 && x.dim(0) == 1,
+            "attack expects a single [1, C, H, W] sample");
+  DLB_CHECK(options.epsilon > 0.f, "epsilon must be positive");
+  DLB_CHECK(options.max_iterations >= 1, "need at least one iteration");
+
+  Context eval = ctx;
+  eval.training = false;  // gradients w.r.t. the *deployed* model
+
+  AttackOutcome outcome;
+  outcome.source_class = label;
+  runtime::Stopwatch clock;
+
+  Tensor adv = x.clone();
+  const std::vector<std::int64_t> labels{label};
+  for (int it = 0; it < options.max_iterations; ++it) {
+    nn::LossResult loss = model.forward_loss(adv, labels, eval);
+    model.zero_grads();
+    Tensor dx = model.backward(loss, labels, eval);
+    Tensor step = tensor::sign(dx, eval.device);
+    tensor::axpy_inplace(adv, options.epsilon, step, eval.device);
+    if (options.clip) adv = tensor::clamp(adv, 0.f, 1.f, eval.device);
+    outcome.iterations = it + 1;
+
+    const std::int64_t pred = predict_one(model, adv, eval);
+    if (pred != label) {
+      outcome.success = true;
+      outcome.final_class = pred;
+      break;
+    }
+    outcome.final_class = pred;
+  }
+  outcome.craft_time_s = clock.seconds();
+  outcome.distortion_l0 = l0_distortion(x, adv);
+  outcome.adversarial_example = adv;
+  return outcome;
+}
+
+AttackOutcome random_noise_attack(Sequential& model, const Tensor& x,
+                                  std::int64_t label,
+                                  const NoiseOptions& options,
+                                  const Context& ctx) {
+  DLB_CHECK(x.shape().rank() == 4 && x.dim(0) == 1,
+            "attack expects a single [1, C, H, W] sample");
+  DLB_CHECK(options.epsilon > 0.f, "epsilon must be positive");
+  DLB_CHECK(options.max_trials >= 1, "need at least one trial");
+
+  Context eval = ctx;
+  eval.training = false;
+  util::Rng rng(options.seed);
+
+  AttackOutcome outcome;
+  outcome.source_class = label;
+  runtime::Stopwatch clock;
+
+  Tensor best = x.clone();
+  for (int trial = 0; trial < options.max_trials; ++trial) {
+    Tensor candidate = x.clone();
+    float* pc = candidate.raw();
+    for (std::int64_t i = 0; i < candidate.numel(); ++i)
+      pc[i] += static_cast<float>(
+          rng.uniform(-options.epsilon, options.epsilon));
+    if (options.clip) candidate = tensor::clamp(candidate, 0.f, 1.f,
+                                                eval.device);
+    outcome.iterations = trial + 1;
+    const std::int64_t pred = predict_one(model, candidate, eval);
+    outcome.final_class = pred;
+    best = candidate;
+    if (pred != label) {
+      outcome.success = true;
+      break;
+    }
+  }
+  outcome.craft_time_s = clock.seconds();
+  outcome.distortion_l0 = l0_distortion(x, best);
+  outcome.adversarial_example = best;
+  return outcome;
+}
+
+Tensor logit_jacobian(Sequential& model, const Tensor& x,
+                      std::int64_t classes, const Context& ctx) {
+  DLB_CHECK(x.shape().rank() == 4 && x.dim(0) == 1,
+            "jacobian expects a single sample");
+  Context eval = ctx;
+  eval.training = false;
+
+  // One forward pass caches activations; each class seed then
+  // backpropagates through the same cache.
+  (void)model.forward(x, eval);
+  const std::int64_t d = x.numel();
+  Tensor jacobian({classes, d});
+  for (std::int64_t j = 0; j < classes; ++j) {
+    Tensor seed({std::int64_t{1}, classes});
+    seed.raw()[j] = 1.f;
+    model.zero_grads();
+    Tensor dx = model.backward_from_logits(seed, eval);
+    std::memcpy(jacobian.raw() + j * d, dx.raw(),
+                static_cast<std::size_t>(d) * sizeof(float));
+  }
+  return jacobian;
+}
+
+AttackOutcome jsma_attack(Sequential& model, const Tensor& x,
+                          std::int64_t target, const JsmaOptions& options,
+                          const Context& ctx) {
+  DLB_CHECK(x.shape().rank() == 4 && x.dim(0) == 1,
+            "attack expects a single [1, C, H, W] sample");
+  DLB_CHECK(options.theta > 0.f, "theta must be positive");
+
+  Context eval = ctx;
+  eval.training = false;
+
+  AttackOutcome outcome;
+  runtime::Stopwatch clock;
+
+  Tensor adv = x.clone();
+  const std::int64_t d = adv.numel();
+  const std::int64_t classes = 10;
+  const int max_iterations = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(options.max_distortion *
+                                   static_cast<double>(d)));
+
+  outcome.source_class = predict_one(model, adv, eval);
+  if (outcome.source_class == target) {
+    // Already the target class; trivially successful, zero distortion.
+    outcome.success = true;
+    outcome.final_class = target;
+    outcome.adversarial_example = adv;
+    outcome.craft_time_s = clock.seconds();
+    return outcome;
+  }
+
+  for (int it = 0; it < max_iterations; ++it) {
+    Tensor jac = logit_jacobian(model, adv, classes, eval);
+    const float* J = jac.raw();
+    float* px = adv.raw();
+
+    // Saliency map, Equation (2): reject features whose target
+    // derivative is negative or whose other-class mass increases;
+    // score the rest by dF_t/dx_i * |sum_{j != t} dF_j/dx_i|.
+    std::int64_t best = -1;
+    float best_score = 0.f;
+    for (std::int64_t i = 0; i < d; ++i) {
+      if (px[i] >= 1.f) continue;  // saturated, cannot increase
+      const float alpha = J[target * d + i];
+      float others = 0.f;
+      for (std::int64_t j = 0; j < classes; ++j)
+        if (j != target) others += J[j * d + i];
+      if (alpha < 0.f || others > 0.f) continue;
+      const float score = alpha * std::fabs(others);
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best < 0) break;  // saliency map exhausted
+
+    px[best] = std::min(1.f, px[best] + options.theta);
+    outcome.iterations = it + 1;
+
+    const std::int64_t pred = predict_one(model, adv, eval);
+    outcome.final_class = pred;
+    if (pred == target) {
+      outcome.success = true;
+      break;
+    }
+  }
+  outcome.craft_time_s = clock.seconds();
+  outcome.distortion_l0 = l0_distortion(x, adv);
+  outcome.adversarial_example = adv;
+  return outcome;
+}
+
+UntargetedSweep fgsm_sweep(Sequential& model, const data::Dataset& data,
+                           const FgsmOptions& options, const Context& ctx,
+                           std::int64_t max_per_class) {
+  DLB_CHECK(data.num_classes == 10, "sweeps assume 10 classes");
+  UntargetedSweep sweep;
+  std::array<std::int64_t, 10> successes{};
+  runtime::Stopwatch clock;
+
+  for (std::int64_t i = 0; i < data.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(
+        data.labels[static_cast<std::size_t>(i)]);
+    if (sweep.attempts[cls] >= max_per_class) continue;
+    Tensor x = data.sample(i);
+    // Attack only samples the model classifies correctly, as in the
+    // paper (success rate measures crafting, not model error).
+    if (predict_one(model, x, ctx) !=
+        data.labels[static_cast<std::size_t>(i)])
+      continue;
+    ++sweep.attempts[cls];
+    AttackOutcome outcome = fgsm_attack(
+        model, x, data.labels[static_cast<std::size_t>(i)], options, ctx);
+    if (outcome.success) {
+      ++successes[cls];
+      ++sweep.destination_counts[cls]
+            [static_cast<std::size_t>(outcome.final_class)];
+    }
+  }
+  for (std::size_t c = 0; c < 10; ++c)
+    sweep.success_rate[c] =
+        sweep.attempts[c] == 0
+            ? 0.0
+            : static_cast<double>(successes[c]) /
+                  static_cast<double>(sweep.attempts[c]);
+  sweep.total_time_s = clock.seconds();
+  return sweep;
+}
+
+TargetedSweep jsma_sweep(Sequential& model, const data::Dataset& data,
+                         std::int64_t source_class, const JsmaOptions& options,
+                         const Context& ctx,
+                         std::int64_t samples_per_target) {
+  DLB_CHECK(data.num_classes == 10, "sweeps assume 10 classes");
+  TargetedSweep sweep;
+  std::array<std::int64_t, 10> successes{};
+  double total_time = 0.0;
+
+  // Collect correctly-classified source samples once.
+  std::vector<std::int64_t> sources;
+  for (std::int64_t i = 0; i < data.size() &&
+                           static_cast<std::int64_t>(sources.size()) <
+                               samples_per_target;
+       ++i) {
+    if (data.labels[static_cast<std::size_t>(i)] != source_class) continue;
+    Tensor x = data.sample(i);
+    if (predict_one(model, x, ctx) == source_class) sources.push_back(i);
+  }
+
+  for (std::int64_t target = 0; target < 10; ++target) {
+    if (target == source_class) continue;
+    for (std::int64_t idx : sources) {
+      Tensor x = data.sample(idx);
+      AttackOutcome outcome = jsma_attack(model, x, target, options, ctx);
+      ++sweep.attempts[static_cast<std::size_t>(target)];
+      ++sweep.total_attacks;
+      total_time += outcome.craft_time_s;
+      if (outcome.success) ++successes[static_cast<std::size_t>(target)];
+    }
+  }
+  for (std::size_t t = 0; t < 10; ++t)
+    sweep.success_rate[t] =
+        sweep.attempts[t] == 0
+            ? 0.0
+            : static_cast<double>(successes[t]) /
+                  static_cast<double>(sweep.attempts[t]);
+  sweep.mean_craft_time_s =
+      sweep.total_attacks == 0 ? 0.0 : total_time / sweep.total_attacks;
+  return sweep;
+}
+
+}  // namespace dlbench::adversarial

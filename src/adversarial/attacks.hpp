@@ -1,0 +1,115 @@
+#pragma once
+
+// Adversarial example crafting — the paper's fourth metric family.
+//
+// Two attacks, exactly the ones in §II-C:
+//  * FGSM (Goodfellow et al.): untargeted, x' = x + eps*sign(dL/dx).
+//    Exposed both as the paper's one-shot formula and as the iterated
+//    variant (apply-until-misclassified) used for the Fig 8 sweeps.
+//  * JSMA (Papernot et al.): targeted. Builds the logit Jacobian by
+//    backpropagating each class seed through the model, scores input
+//    features with the saliency map of the paper's Equation (2), and
+//    perturbs the highest-saliency feature per iteration.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace dlbench::adversarial {
+
+using nn::Context;
+using nn::Sequential;
+using tensor::Tensor;
+
+/// Result of attacking one sample.
+struct AttackOutcome {
+  bool success = false;
+  std::int64_t source_class = -1;
+  std::int64_t final_class = -1;
+  int iterations = 0;
+  double craft_time_s = 0.0;
+  double distortion_l0 = 0.0;  // fraction of features changed
+  Tensor adversarial_example;  // [1, C, H, W]
+};
+
+struct FgsmOptions {
+  /// Paper §III-E sets eps = 0.001.
+  float epsilon = 0.001f;
+  /// 1 reproduces the one-shot formula; >1 iterates (BIM) until the
+  /// prediction flips or the budget is exhausted.
+  int max_iterations = 1;
+  /// Keep pixels in [0, 1].
+  bool clip = true;
+};
+
+/// Untargeted FGSM on a single sample with true label `label`.
+AttackOutcome fgsm_attack(Sequential& model, const Tensor& x,
+                          std::int64_t label, const FgsmOptions& options,
+                          const Context& ctx);
+
+struct NoiseOptions {
+  /// Per-trial L-inf noise magnitude.
+  float epsilon = 0.02f;
+  /// Number of independent noise draws before giving up.
+  int max_trials = 50;
+  std::uint64_t seed = 7;
+  bool clip = true;
+};
+
+/// Random (untargeted) perturbation baseline — the paper's "random
+/// (untargeted) attacks" control: draws i.i.d. U(-eps, +eps) noise
+/// until the prediction flips or trials run out. Gradient-based FGSM
+/// should beat this decisively at equal epsilon.
+AttackOutcome random_noise_attack(Sequential& model, const Tensor& x,
+                                  std::int64_t label,
+                                  const NoiseOptions& options,
+                                  const Context& ctx);
+
+struct JsmaOptions {
+  /// Per-step feature increment (clipped into [0,1]).
+  float theta = 0.5f;
+  /// Stop after perturbing this fraction of input features.
+  double max_distortion = 0.12;
+};
+
+/// Targeted JSMA: perturbs `x` until the model classifies it as
+/// `target` or the distortion budget runs out.
+AttackOutcome jsma_attack(Sequential& model, const Tensor& x,
+                          std::int64_t target, const JsmaOptions& options,
+                          const Context& ctx);
+
+/// Logit Jacobian at x: row j holds d logit_j / d x (flattened input).
+/// One forward pass plus `classes` backward passes.
+Tensor logit_jacobian(Sequential& model, const Tensor& x,
+                      std::int64_t classes, const Context& ctx);
+
+// ---- sweeps over a dataset ----
+
+/// Fig 8: per-source-digit untargeted success rates and the matrix of
+/// destination classes adversarial examples fall into.
+struct UntargetedSweep {
+  std::array<double, 10> success_rate{};             // per source class
+  std::array<std::array<std::int64_t, 10>, 10> destination_counts{};
+  std::array<std::int64_t, 10> attempts{};
+  double total_time_s = 0.0;
+};
+UntargetedSweep fgsm_sweep(Sequential& model, const data::Dataset& data,
+                           const FgsmOptions& options, const Context& ctx,
+                           std::int64_t max_per_class);
+
+/// Fig 9 / Tables VIII–IX: success rate of crafting `source_class`
+/// into every other class, plus mean crafting time.
+struct TargetedSweep {
+  std::array<double, 10> success_rate{};  // index = target class
+  std::array<std::int64_t, 10> attempts{};
+  double mean_craft_time_s = 0.0;
+  std::int64_t total_attacks = 0;
+};
+TargetedSweep jsma_sweep(Sequential& model, const data::Dataset& data,
+                         std::int64_t source_class, const JsmaOptions& options,
+                         const Context& ctx, std::int64_t samples_per_target);
+
+}  // namespace dlbench::adversarial

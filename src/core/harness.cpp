@@ -1,0 +1,160 @@
+#include "core/harness.hpp"
+
+#include <cstdlib>
+
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::core {
+
+namespace {
+
+std::int64_t env_int64(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  return std::strtoll(raw, nullptr, 10);
+}
+
+}  // namespace
+
+HarnessOptions HarnessOptions::from_env() {
+  HarnessOptions opt;
+  opt.mnist_train = env_int64("DLB_MNIST_TRAIN", opt.mnist_train);
+  opt.mnist_test = env_int64("DLB_MNIST_TEST", opt.mnist_test);
+  opt.cifar_train = env_int64("DLB_CIFAR_TRAIN", opt.cifar_train);
+  opt.cifar_test = env_int64("DLB_CIFAR_TEST", opt.cifar_test);
+  opt.small_batch_step_cap =
+      env_int64("DLB_SMALL_BATCH_STEP_CAP", opt.small_batch_step_cap);
+  if (const char* raw = std::getenv("DLB_MNIST_FLOPS"); raw && *raw)
+    opt.mnist_flop_budget = std::strtod(raw, nullptr);
+  if (const char* raw = std::getenv("DLB_CIFAR_FLOPS"); raw && *raw)
+    opt.cifar_flop_budget = std::strtod(raw, nullptr);
+  if (const char* raw = std::getenv("DLB_ITER_FRACTION"); raw && *raw)
+    opt.iteration_fraction = std::strtod(raw, nullptr);
+  return opt;
+}
+
+HarnessOptions HarnessOptions::test_profile() {
+  HarnessOptions opt;
+  opt.mnist_train = 300;
+  opt.mnist_test = 100;
+  opt.cifar_train = 300;
+  opt.cifar_test = 100;
+  opt.mnist_flop_budget = 4.0e10;
+  opt.cifar_flop_budget = 4.0e10;
+  opt.small_batch_step_cap = 150;
+  opt.iteration_fraction = 0.01;
+  return opt;
+}
+
+Harness::Harness(HarnessOptions options) : options_(options) {
+  data::MnistOptions mnist_opt;
+  mnist_opt.train_samples = options_.mnist_train;
+  mnist_opt.test_samples = options_.mnist_test;
+  mnist_opt.seed = options_.data_seed;
+  mnist_ = data::synthetic_mnist(mnist_opt);
+
+  data::CifarOptions cifar_opt;
+  cifar_opt.train_samples = options_.cifar_train;
+  cifar_opt.test_samples = options_.cifar_test;
+  cifar_opt.seed = options_.data_seed + 1;
+  cifar_ = data::synthetic_cifar10(cifar_opt);
+}
+
+const data::Dataset& Harness::train_set(DatasetId id) const {
+  return id == DatasetId::kMnist ? mnist_.train : cifar_.train;
+}
+
+const data::Dataset& Harness::test_set(DatasetId id) const {
+  return id == DatasetId::kMnist ? mnist_.test : cifar_.test;
+}
+
+frameworks::TrainOptions Harness::train_options_for(
+    const frameworks::TrainingConfig& config, DatasetId data,
+    const nn::NetworkSpec& spec) const {
+  frameworks::TrainOptions opts;
+  opts.seed = options_.train_seed;
+  opts.min_steps_floor = static_cast<std::int64_t>(
+      options_.iteration_fraction *
+      static_cast<double>(config.paper_max_iterations));
+  opts.scale = runtime::ScaleConfig::from_env(runtime::ScaleConfig());
+  if (opts.scale.max_step_cap == 0) {
+    // Convert the per-run compute budget into a step cap: one training
+    // step costs roughly 3x the forward pass (fwd + param/input grads).
+    const double budget = data == DatasetId::kMnist
+                              ? options_.mnist_flop_budget
+                              : options_.cifar_flop_budget;
+    const double step_flops = 3.0 *
+                              static_cast<double>(nn::spec_forward_flops(spec)) *
+                              static_cast<double>(config.batch_size);
+    std::int64_t cap = static_cast<std::int64_t>(budget / step_flops);
+    if (config.batch_size < 32)
+      cap = std::min(cap, options_.small_batch_step_cap);
+    opts.scale.max_step_cap = std::max<std::int64_t>(10, cap);
+  }
+  return opts;
+}
+
+Harness::TrainedModel Harness::train_model(FrameworkKind fw,
+                                           FrameworkKind setting_fw,
+                                           DatasetId setting_data,
+                                           DatasetId data,
+                                           const Device& device) {
+  return train_model_with_fc_width(fw, setting_fw, setting_data, data, device,
+                                   /*fc_width=*/0);
+}
+
+Harness::TrainedModel Harness::train_model_with_fc_width(
+    FrameworkKind fw, FrameworkKind setting_fw, DatasetId setting_data,
+    DatasetId data, const Device& device, std::int64_t fc_width) {
+  auto framework = frameworks::make_framework(fw);
+  frameworks::TrainingConfig config =
+      frameworks::default_training_config(setting_fw, setting_data);
+  nn::NetworkSpec spec =
+      frameworks::default_network_spec(setting_fw, setting_data);
+  if (fc_width > 0) spec = spec.with_first_fc_width(fc_width);
+
+  // Working copies: the setting's preprocessing is fitted on the train
+  // split and applied to both (the originals stay raw for other runs).
+  const data::Dataset& train_base = train_set(data);
+  data::Dataset train =
+      config.train_fraction < 1.0
+          ? train_base.take(static_cast<std::int64_t>(
+                train_base.size() * config.train_fraction))
+          : data::clone_dataset(train_base);
+  data::Dataset test = data::clone_dataset(test_set(data));
+  data::apply_preprocessing(config.preprocessing, train, test);
+
+  // Cross-dataset settings keep the structure but adapt the input
+  // geometry to the dataset actually trained (paper §III-C).
+  spec.input_channels = train.channels();
+  spec.input_height = train.height();
+  spec.input_width = train.width();
+
+  util::Rng model_rng(options_.train_seed ^ 0x5eed);
+  TrainedModel out;
+  out.model = framework->build_model(spec, device, model_rng);
+
+  out.record.framework = framework->name();
+  out.record.setting = config.label;
+  out.record.dataset = train.name;
+  out.record.device = device.name();
+  out.record.train = framework->train(out.model, train, config, device,
+                                      train_options_for(config, data, spec));
+  out.record.eval = framework->evaluate(out.model, test, device);
+  out.test = std::move(test);
+  return out;
+}
+
+RunRecord Harness::run(FrameworkKind fw, FrameworkKind setting_fw,
+                       DatasetId setting_data, DatasetId data,
+                       const Device& device) {
+  return train_model(fw, setting_fw, setting_data, data, device).record;
+}
+
+RunRecord Harness::run_default(FrameworkKind fw, DatasetId data,
+                               const Device& device) {
+  return run(fw, fw, data, data, device);
+}
+
+}  // namespace dlbench::core

@@ -1,0 +1,123 @@
+#pragma once
+
+// Experiment harness: the paper's methodology as an API.
+//
+// Every measurement in the paper is an instance of one experiment
+// template: framework F trains dataset D on device V using default
+// setting S(F', D') — the setting framework F' ships for dataset D' —
+// then evaluates on D's test split. The harness owns the datasets and
+// the scaling policy and exposes run() over that template, so each
+// bench binary is a thin loop over the cross-product its figure needs.
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "frameworks/framework.hpp"
+#include "frameworks/registry.hpp"
+
+namespace dlbench::core {
+
+using frameworks::DatasetId;
+using frameworks::FrameworkKind;
+using runtime::Device;
+
+/// Workload sizing. The defaults are the "bench profile" documented in
+/// DESIGN.md §7: small enough for minutes-long suites, large enough to
+/// preserve every cross-framework comparison shape.
+struct HarnessOptions {
+  std::int64_t mnist_train = 1200;
+  std::int64_t mnist_test = 300;
+  std::int64_t cifar_train = 1000;
+  std::int64_t cifar_test = 300;
+  std::uint64_t data_seed = 42;
+  std::uint64_t train_seed = 1234;
+
+  /// Compute budget per training run, in estimated FLOPs. Substitutes
+  /// for the paper's hour-scale runs: a run's step cap is
+  /// budget / (3 x forward-flops x batch), so cheap nets earn
+  /// proportionally more optimizer steps — the same way the paper's
+  /// per-framework iteration counts relate (Caffe 5k vs TF 1M).
+  /// Deterministic, unlike a wall-clock budget.
+  double mnist_flop_budget = 4.0e11;
+  double cifar_flop_budget = 2.3e12;
+
+  /// Hard step cap for small-batch (< 32) settings, where per-step
+  /// dispatch overhead, not FLOPs, dominates wall time.
+  std::int64_t small_batch_step_cap = 450;
+
+  /// Fraction of each setting's paper iteration count used as a floor
+  /// on optimizer steps (see TrainOptions::min_steps_floor). Keeps
+  /// modest-budget settings (Caffe: 5,000 iterations) from being
+  /// starved of updates when the dataset shrinks. The floor is still
+  /// subject to the flop budget above.
+  double iteration_fraction = 0.05;
+
+  /// Reads DLB_* environment overrides (see runtime/scale.hpp) plus
+  /// DLB_MNIST_TRAIN/DLB_CIFAR_TRAIN/... sizes.
+  static HarnessOptions from_env();
+
+  /// Reduced profile for unit/integration tests.
+  static HarnessOptions test_profile();
+};
+
+/// One measured cell of a paper table/figure.
+struct RunRecord {
+  std::string framework;      // executing framework
+  std::string setting;        // e.g. "TF MNIST" (owner + tuned dataset)
+  std::string dataset;        // dataset trained/evaluated on
+  std::string device;         // "CPU" / "GPU"
+  frameworks::TrainResult train;
+  frameworks::EvalResult eval;
+};
+
+/// Owns datasets + scaling; executes experiment cells.
+class Harness {
+ public:
+  explicit Harness(HarnessOptions options = HarnessOptions::from_env());
+
+  /// Framework `fw` trains `data` on `device` using the default setting
+  /// that framework `setting_fw` ships for `setting_data`.
+  RunRecord run(FrameworkKind fw, FrameworkKind setting_fw,
+                DatasetId setting_data, DatasetId data,
+                const Device& device);
+
+  /// Baseline cell: framework's own setting for the dataset it runs on.
+  RunRecord run_default(FrameworkKind fw, DatasetId data,
+                        const Device& device);
+
+  /// Trains a model and returns it together with the record — used by
+  /// the adversarial benches, which attack the trained model.
+  struct TrainedModel {
+    nn::Sequential model;
+    RunRecord record;
+    /// Test split with the setting's preprocessing applied — what the
+    /// model actually sees; adversarial sweeps must attack this.
+    data::Dataset test;
+  };
+  TrainedModel train_model(FrameworkKind fw, FrameworkKind setting_fw,
+                           DatasetId setting_data, DatasetId data,
+                           const Device& device);
+
+  /// Same, but with the first fc layer resized (Table IX ablation).
+  TrainedModel train_model_with_fc_width(FrameworkKind fw,
+                                         FrameworkKind setting_fw,
+                                         DatasetId setting_data,
+                                         DatasetId data, const Device& device,
+                                         std::int64_t fc_width);
+
+  const data::Dataset& train_set(DatasetId id) const;
+  const data::Dataset& test_set(DatasetId id) const;
+  const HarnessOptions& options() const { return options_; }
+
+ private:
+  frameworks::TrainOptions train_options_for(
+      const frameworks::TrainingConfig& config, DatasetId data,
+      const nn::NetworkSpec& spec) const;
+
+  HarnessOptions options_;
+  data::DatasetPair mnist_;
+  data::DatasetPair cifar_;
+};
+
+}  // namespace dlbench::core

@@ -1,0 +1,66 @@
+#include "core/report.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace dlbench::core {
+
+util::Table results_table(const std::string& title,
+                          const std::vector<RunRecord>& records) {
+  util::Table table({"Framework", "Default Settings", "Device",
+                     "Training Time (s)", "Testing Time (s)",
+                     "Accuracy (%)", "Converged"});
+  table.set_title(title);
+  for (const auto& r : records) {
+    table.add_row({r.framework, r.setting, r.device,
+                   util::format_seconds(r.train.train_time_s),
+                   util::format_seconds(r.eval.test_time_s),
+                   util::format_percent(r.eval.accuracy_pct),
+                   r.train.converged ? "yes" : "NO"});
+  }
+  return table;
+}
+
+std::string summarize(const RunRecord& r) {
+  std::ostringstream os;
+  os << r.framework << " [" << r.setting << "] on " << r.dataset << " ("
+     << r.device << "): train " << util::format_seconds(r.train.train_time_s)
+     << "s over " << r.train.steps << " steps ("
+     << util::format_fixed(r.train.epochs_run, 2) << " epochs), test "
+     << util::format_seconds(r.eval.test_time_s) << "s, accuracy "
+     << util::format_percent(r.eval.accuracy_pct) << "%"
+     << (r.train.converged ? "" : "  [DID NOT CONVERGE]");
+  return os.str();
+}
+
+void print_banner(const std::string& experiment_id,
+                  const std::string& description,
+                  const HarnessOptions& options) {
+  std::cout << "==========================================================\n"
+            << experiment_id << " — " << description << "\n"
+            << "workload: MNIST " << options.mnist_train << "/"
+            << options.mnist_test << ", CIFAR-10 " << options.cifar_train
+            << "/" << options.cifar_test << " (train/test samples), "
+            << "flop budgets mnist " << options.mnist_flop_budget
+            << ", cifar " << options.cifar_flop_budget
+            << "; small-batch step cap " << options.small_batch_step_cap
+            << "\n"
+            << "note: absolute numbers are bench-scale; compare shapes\n"
+            << "      (ordering, ratios) against the paper values shown.\n"
+            << "==========================================================\n";
+}
+
+util::Table comparison_table(const std::string& title,
+                             const std::vector<PaperComparison>& rows) {
+  util::Table table({"Quantity", "Paper", "Measured", "Unit"});
+  table.set_title(title);
+  for (const auto& row : rows) {
+    table.add_row({row.label, util::format_fixed(row.paper_value, 2),
+                   util::format_fixed(row.measured_value, 2), row.unit});
+  }
+  return table;
+}
+
+}  // namespace dlbench::core

@@ -1,0 +1,38 @@
+#pragma once
+
+// Paper-style rendering of harness results.
+
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "util/table.hpp"
+
+namespace dlbench::core {
+
+/// Table with the paper's standard columns — Framework / Default
+/// Settings / Training Time (s) / Testing Time (s) / Accuracy (%).
+util::Table results_table(const std::string& title,
+                          const std::vector<RunRecord>& records);
+
+/// One-line summary of a record for log output.
+std::string summarize(const RunRecord& record);
+
+/// Prints a header banner for a bench binary, including the workload
+/// profile so results are interpretable.
+void print_banner(const std::string& experiment_id,
+                  const std::string& description,
+                  const HarnessOptions& options);
+
+/// Paper-vs-measured comparison row: prints the paper's published value
+/// next to ours so benches double as EXPERIMENTS.md generators.
+struct PaperComparison {
+  std::string label;
+  double paper_value;
+  double measured_value;
+  std::string unit;
+};
+util::Table comparison_table(const std::string& title,
+                             const std::vector<PaperComparison>& rows);
+
+}  // namespace dlbench::core

@@ -1,0 +1,87 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dlbench::data {
+
+void random_horizontal_flip(Batch& batch, double p, util::Rng& rng) {
+  DLB_CHECK(p >= 0.0 && p <= 1.0, "flip probability must be in [0,1]");
+  const std::int64_t n = batch.images.dim(0);
+  const std::int64_t c = batch.images.dim(1);
+  const std::int64_t h = batch.images.dim(2);
+  const std::int64_t w = batch.images.dim(3);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!rng.bernoulli(p)) continue;
+    float* img = batch.images.raw() + i * c * h * w;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      for (std::int64_t y = 0; y < h; ++y) {
+        float* row = img + (ch * h + y) * w;
+        std::reverse(row, row + w);
+      }
+    }
+  }
+}
+
+void random_crop(Batch& batch, int pad, util::Rng& rng) {
+  DLB_CHECK(pad >= 0, "crop pad must be non-negative");
+  if (pad == 0) return;
+  const std::int64_t n = batch.images.dim(0);
+  const std::int64_t c = batch.images.dim(1);
+  const std::int64_t h = batch.images.dim(2);
+  const std::int64_t w = batch.images.dim(3);
+  const std::int64_t ph = h + 2 * pad, pw = w + 2 * pad;
+  std::vector<float> padded(static_cast<std::size_t>(c * ph * pw));
+
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* img = batch.images.raw() + i * c * h * w;
+    std::fill(padded.begin(), padded.end(), 0.f);
+    for (std::int64_t ch = 0; ch < c; ++ch)
+      for (std::int64_t y = 0; y < h; ++y)
+        std::memcpy(
+            padded.data() + (ch * ph + y + pad) * pw + pad,
+            img + (ch * h + y) * w,
+            static_cast<std::size_t>(w) * sizeof(float));
+    const auto oy = static_cast<std::int64_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(2 * pad + 1)));
+    const auto ox = static_cast<std::int64_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(2 * pad + 1)));
+    for (std::int64_t ch = 0; ch < c; ++ch)
+      for (std::int64_t y = 0; y < h; ++y)
+        std::memcpy(img + (ch * h + y) * w,
+                    padded.data() + (ch * ph + y + oy) * pw + ox,
+                    static_cast<std::size_t>(w) * sizeof(float));
+  }
+}
+
+void random_brightness(Batch& batch, double delta, util::Rng& rng) {
+  DLB_CHECK(delta >= 0.0 && delta < 1.0, "brightness delta must be in [0,1)");
+  if (delta == 0.0) return;
+  const std::int64_t n = batch.images.dim(0);
+  const std::int64_t sample = batch.images.numel() / n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float scale =
+        static_cast<float>(rng.uniform(1.0 - delta, 1.0 + delta));
+    float* img = batch.images.raw() + i * sample;
+    for (std::int64_t k = 0; k < sample; ++k) img[k] *= scale;
+  }
+}
+
+void AugmentPolicy::apply(Batch& batch, util::Rng& rng) const {
+  if (crop_pad > 0) random_crop(batch, crop_pad, rng);
+  if (horizontal_flip) random_horizontal_flip(batch, flip_probability, rng);
+  if (brightness_delta > 0.0) random_brightness(batch, brightness_delta, rng);
+}
+
+AugmentPolicy AugmentPolicy::tf_cifar() {
+  AugmentPolicy policy;
+  policy.horizontal_flip = true;
+  policy.crop_pad = 4;
+  policy.brightness_delta = 0.2;
+  return policy;
+}
+
+}  // namespace dlbench::data

@@ -1,0 +1,49 @@
+#pragma once
+
+// Training-time data augmentation.
+//
+// TF's CIFAR-10 tutorial (the source of the paper's TF CIFAR setting)
+// augments each batch with random crops and horizontal flips, and the
+// paper's discussion of "incrementally enhanced datasets" (§II-C)
+// assumes the same machinery. These transforms operate on batches in
+// place, drawing from a deterministic Rng, and are exposed both as
+// standalone functions and as an AugmentPolicy the harness can attach
+// to a training run.
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace dlbench::data {
+
+/// Mirrors each image left-right with probability p.
+void random_horizontal_flip(Batch& batch, double p, util::Rng& rng);
+
+/// Pads each image by `pad` zero pixels on every side, then crops a
+/// random window of the original size (the classic CIFAR crop).
+void random_crop(Batch& batch, int pad, util::Rng& rng);
+
+/// Scales each image's intensities by U(1-delta, 1+delta), clipped to
+/// keep values finite (no [0,1] clamp: augmentation may run after
+/// preprocessing, where pixels are centered).
+void random_brightness(Batch& batch, double delta, util::Rng& rng);
+
+/// Composite policy applied to each training batch.
+struct AugmentPolicy {
+  bool horizontal_flip = false;
+  double flip_probability = 0.5;
+  int crop_pad = 0;          // 0 disables cropping
+  double brightness_delta = 0.0;  // 0 disables
+
+  bool enabled() const {
+    return horizontal_flip || crop_pad > 0 || brightness_delta > 0.0;
+  }
+
+  void apply(Batch& batch, util::Rng& rng) const;
+
+  /// The TF CIFAR-10 tutorial's policy: flip + pad-4 crop + brightness.
+  static AugmentPolicy tf_cifar();
+};
+
+}  // namespace dlbench::data

@@ -1,0 +1,87 @@
+#pragma once
+
+// Dataset container + batching.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace dlbench::data {
+
+using tensor::Tensor;
+
+/// An in-memory labeled image dataset, pixels in [0, 1], NCHW.
+struct Dataset {
+  std::string name;
+  Tensor images;                    // [N, C, H, W]
+  std::vector<std::int64_t> labels; // size N, values in [0, num_classes)
+  std::int64_t num_classes = 10;
+
+  std::int64_t size() const { return images.empty() ? 0 : images.dim(0); }
+  std::int64_t channels() const { return images.dim(1); }
+  std::int64_t height() const { return images.dim(2); }
+  std::int64_t width() const { return images.dim(3); }
+
+  /// Copy of the first `count` samples (count is clamped to size()).
+  Dataset take(std::int64_t count) const;
+
+  /// Copy of one sample as a [1, C, H, W] tensor.
+  Tensor sample(std::int64_t index) const;
+
+  /// Throws if labels/images disagree or labels are out of range.
+  void validate() const;
+};
+
+/// A train/test split as emitted by the generators.
+struct DatasetPair {
+  Dataset train;
+  Dataset test;
+};
+
+/// Mini-batch view materialized by the loader.
+struct Batch {
+  Tensor images;                    // [B, C, H, W]
+  std::vector<std::int64_t> labels; // size B
+  std::int64_t size() const { return images.dim(0); }
+};
+
+/// Shuffling mini-batch iterator. One pass over the data per epoch;
+/// the last batch may be smaller. Shuffle order is drawn from the
+/// provided Rng, so training runs are reproducible.
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+             util::Rng rng);
+
+  /// Batches per epoch (ceil division).
+  std::int64_t batches_per_epoch() const;
+
+  /// Starts a new epoch (reshuffles if enabled).
+  void start_epoch();
+
+  /// Returns false when the epoch is exhausted.
+  bool next(Batch& out);
+
+ private:
+  const Dataset& dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  util::Rng rng_;
+  std::vector<std::int64_t> order_;
+  std::int64_t cursor_ = 0;
+};
+
+/// Summary statistics used to validate the synthetic substitution
+/// (paper §III-B attributes MNIST's results to low entropy/sparsity).
+struct DatasetStats {
+  double pixel_entropy_bits = 0.0;
+  double sparsity = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+DatasetStats compute_stats(const Dataset& dataset);
+
+}  // namespace dlbench::data

@@ -1,0 +1,152 @@
+#include "data/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace dlbench::data {
+
+const char* to_string(Preprocessing p) {
+  switch (p) {
+    case Preprocessing::kScaleOnly: return "scale-only";
+    case Preprocessing::kPerImageStandardize: return "per-image-standardize";
+    case Preprocessing::kMeanSubtract: return "mean-subtract";
+    case Preprocessing::kGlobalChannelNormalize: return "channel-normalize";
+  }
+  return "unknown";
+}
+
+Dataset clone_dataset(const Dataset& d) {
+  Dataset copy;
+  copy.name = d.name;
+  copy.num_classes = d.num_classes;
+  copy.labels = d.labels;
+  copy.images = d.images.clone();
+  return copy;
+}
+
+void per_image_standardize(Dataset& d) {
+  const std::int64_t n = d.size();
+  const std::int64_t sz = d.channels() * d.height() * d.width();
+  // TF's per_image_standardization floors the stddev at 1/sqrt(D).
+  const float min_std = 1.0f / std::sqrt(static_cast<float>(sz));
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* img = d.images.raw() + i * sz;
+    double sum = 0;
+    for (std::int64_t k = 0; k < sz; ++k) sum += img[k];
+    const float mean = static_cast<float>(sum / sz);
+    double var = 0;
+    for (std::int64_t k = 0; k < sz; ++k) {
+      const float dd = img[k] - mean;
+      var += dd * dd;
+    }
+    const float stddev =
+        std::max(min_std, static_cast<float>(std::sqrt(var / sz)));
+    const float inv = 1.f / stddev;
+    for (std::int64_t k = 0; k < sz; ++k) img[k] = (img[k] - mean) * inv;
+  }
+}
+
+tensor::Tensor mean_image(const Dataset& d) {
+  DLB_CHECK(d.size() > 0, "mean_image of empty dataset");
+  const std::int64_t sz = d.channels() * d.height() * d.width();
+  tensor::Tensor mean({d.channels(), d.height(), d.width()});
+  float* pm = mean.raw();
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const float* img = d.images.raw() + i * sz;
+    for (std::int64_t k = 0; k < sz; ++k) pm[k] += img[k];
+  }
+  const float inv = 1.f / static_cast<float>(d.size());
+  for (std::int64_t k = 0; k < sz; ++k) pm[k] *= inv;
+  return mean;
+}
+
+void subtract_mean_image(Dataset& d, const tensor::Tensor& mean) {
+  const std::int64_t sz = d.channels() * d.height() * d.width();
+  DLB_CHECK(mean.numel() == sz, "mean image shape mismatch");
+  const float* pm = mean.raw();
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    float* img = d.images.raw() + i * sz;
+    for (std::int64_t k = 0; k < sz; ++k) img[k] -= pm[k];
+  }
+}
+
+ChannelStats channel_stats(const Dataset& d) {
+  DLB_CHECK(d.size() > 0, "channel_stats of empty dataset");
+  const std::int64_t c = d.channels();
+  const std::int64_t plane = d.height() * d.width();
+  ChannelStats stats;
+  stats.mean.assign(static_cast<std::size_t>(c), 0.f);
+  stats.stddev.assign(static_cast<std::size_t>(c), 0.f);
+  const std::int64_t per_channel_count = d.size() * plane;
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const float* img = d.images.raw() + i * c * plane;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      double acc = 0;
+      const float* p = img + ch * plane;
+      for (std::int64_t k = 0; k < plane; ++k) acc += p[k];
+      stats.mean[static_cast<std::size_t>(ch)] +=
+          static_cast<float>(acc / per_channel_count);
+    }
+  }
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    const float* img = d.images.raw() + i * c * plane;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      double acc = 0;
+      const float* p = img + ch * plane;
+      const float m = stats.mean[static_cast<std::size_t>(ch)];
+      for (std::int64_t k = 0; k < plane; ++k) {
+        const float dd = p[k] - m;
+        acc += dd * dd;
+      }
+      stats.stddev[static_cast<std::size_t>(ch)] +=
+          static_cast<float>(acc / per_channel_count);
+    }
+  }
+  for (auto& s : stats.stddev) s = std::max(1e-4f, std::sqrt(s));
+  return stats;
+}
+
+void normalize_channels(Dataset& d, const ChannelStats& stats) {
+  const std::int64_t c = d.channels();
+  DLB_CHECK(static_cast<std::int64_t>(stats.mean.size()) == c &&
+                static_cast<std::int64_t>(stats.stddev.size()) == c,
+            "channel stats size mismatch");
+  const std::int64_t plane = d.height() * d.width();
+  for (std::int64_t i = 0; i < d.size(); ++i) {
+    float* img = d.images.raw() + i * c * plane;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float m = stats.mean[static_cast<std::size_t>(ch)];
+      const float inv = 1.f / stats.stddev[static_cast<std::size_t>(ch)];
+      float* p = img + ch * plane;
+      for (std::int64_t k = 0; k < plane; ++k) p[k] = (p[k] - m) * inv;
+    }
+  }
+}
+
+void apply_preprocessing(Preprocessing kind, Dataset& train, Dataset& test) {
+  switch (kind) {
+    case Preprocessing::kScaleOnly:
+      return;  // generators already emit [0,1]
+    case Preprocessing::kPerImageStandardize:
+      per_image_standardize(train);
+      per_image_standardize(test);
+      return;
+    case Preprocessing::kMeanSubtract: {
+      tensor::Tensor mean = mean_image(train);
+      subtract_mean_image(train, mean);
+      subtract_mean_image(test, mean);
+      return;
+    }
+    case Preprocessing::kGlobalChannelNormalize: {
+      ChannelStats stats = channel_stats(train);
+      normalize_channels(train, stats);
+      normalize_channels(test, stats);
+      return;
+    }
+  }
+}
+
+}  // namespace dlbench::data

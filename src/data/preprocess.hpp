@@ -1,0 +1,62 @@
+#pragma once
+
+// Input preprocessing pipelines.
+//
+// Each framework's reference training pipeline transforms pixels before
+// the first layer, and that transform is part of the "default setting"
+// the paper cross-applies: TF's CIFAR-10 tutorial standardizes each
+// image, Caffe's cifar10_quick subtracts the training-set mean image,
+// Torch's demos normalize channels globally, and the MNIST pipelines
+// only scale to [0,1]. Several of the paper's non-convergence results
+// (§III-C/D) trace to exactly these mismatches — e.g. a high learning
+// rate meeting uncentered inputs.
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace dlbench::data {
+
+enum class Preprocessing {
+  /// Pixels scaled to [0,1] (Caffe lenet's 1/256, TF MNIST feed). Our
+  /// generators already emit [0,1], so this is the identity.
+  kScaleOnly,
+  /// Per-image zero mean / unit variance (TF CIFAR-10 tutorial).
+  kPerImageStandardize,
+  /// Subtract the training-set mean image (Caffe cifar10_quick).
+  kMeanSubtract,
+  /// Normalize each channel by training-set mean/std (Torch demos).
+  kGlobalChannelNormalize,
+};
+
+const char* to_string(Preprocessing p);
+
+/// Deep copy of a dataset (images are cloned, not aliased).
+Dataset clone_dataset(const Dataset& d);
+
+/// Standardizes each image in place: (x - mean) / max(std, 1/sqrt(D)).
+void per_image_standardize(Dataset& d);
+
+/// Mean image over a dataset ([C, H, W]).
+tensor::Tensor mean_image(const Dataset& d);
+
+/// Subtracts a mean image (broadcast over samples) in place.
+void subtract_mean_image(Dataset& d, const tensor::Tensor& mean);
+
+struct ChannelStats {
+  std::vector<float> mean;
+  std::vector<float> stddev;  // floored at 1e-4 to avoid division blowup
+};
+
+/// Per-channel statistics over a dataset.
+ChannelStats channel_stats(const Dataset& d);
+
+/// Applies (x - mean_c) / std_c per channel, in place.
+void normalize_channels(Dataset& d, const ChannelStats& stats);
+
+/// Fits the transform on `train` and applies it to both splits,
+/// mirroring how the reference pipelines handle train/test.
+void apply_preprocessing(Preprocessing kind, Dataset& train, Dataset& test);
+
+}  // namespace dlbench::data

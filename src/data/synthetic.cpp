@@ -1,0 +1,257 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace dlbench::data {
+
+namespace {
+
+// ---- synthetic MNIST: seven-segment glyphs --------------------------------
+
+// Segment layout on a 28x28 canvas (y grows downward):
+//   A: top bar, G: middle bar, D: bottom bar,
+//   F/B: upper-left/right verticals, E/C: lower-left/right verticals.
+struct SegRect {
+  int y0, y1, x0, x1;  // inclusive
+};
+
+constexpr SegRect kSegA{4, 6, 8, 19};
+constexpr SegRect kSegG{13, 15, 8, 19};
+constexpr SegRect kSegD{22, 24, 8, 19};
+constexpr SegRect kSegF{4, 15, 8, 10};
+constexpr SegRect kSegB{4, 15, 17, 19};
+constexpr SegRect kSegE{13, 24, 8, 10};
+constexpr SegRect kSegC{13, 24, 17, 19};
+
+// Segment membership per digit, order {A, B, C, D, E, F, G}.
+constexpr std::array<std::array<bool, 7>, 10> kDigitSegments = {{
+    {true, true, true, true, true, true, false},     // 0
+    {false, true, true, false, false, false, false}, // 1
+    {true, true, false, true, true, false, true},    // 2
+    {true, true, true, true, false, false, true},    // 3
+    {false, true, true, false, false, true, true},   // 4
+    {true, false, true, true, false, true, true},    // 5
+    {true, false, true, true, true, true, true},     // 6
+    {true, true, true, false, false, false, false},  // 7
+    {true, true, true, true, true, true, true},      // 8
+    {true, true, true, true, false, true, true},     // 9
+}};
+
+constexpr std::array<SegRect, 7> kSegRects = {kSegA, kSegB, kSegC, kSegD,
+                                              kSegE, kSegF, kSegG};
+
+void render_digit(float* image, int digit, int dy, int dx, float intensity,
+                  double noise, double stroke_dropout, util::Rng& rng) {
+  constexpr int kH = 28, kW = 28;
+  std::memset(image, 0, kH * kW * sizeof(float));
+  const auto& segs = kDigitSegments[static_cast<std::size_t>(digit)];
+  for (std::size_t s = 0; s < kSegRects.size(); ++s) {
+    if (!segs[s]) continue;
+    const SegRect& r = kSegRects[s];
+    for (int y = r.y0 + dy; y <= r.y1 + dy; ++y) {
+      if (y < 0 || y >= kH) continue;
+      for (int x = r.x0 + dx; x <= r.x1 + dx; ++x) {
+        if (x < 0 || x >= kW) continue;
+        if (rng.bernoulli(stroke_dropout)) continue;  // degraded stroke
+        // Per-pixel stroke texture keeps strokes from being constant.
+        const float wobble = static_cast<float>(rng.uniform(-0.1, 0.1));
+        image[y * kW + x] =
+            std::clamp(intensity + wobble, 0.f, 1.f);
+      }
+    }
+  }
+  if (noise > 0.0) {
+    for (int i = 0; i < kH * kW; ++i) {
+      const float n = static_cast<float>(rng.normal(0.0, noise));
+      image[i] = std::clamp(image[i] + n, 0.f, 1.f);
+    }
+  }
+}
+
+Dataset make_mnist_split(const char* split, std::int64_t count,
+                         const MnistOptions& opt, util::Rng& rng) {
+  Dataset d;
+  d.name = std::string(kMnistName) + "/" + split;
+  d.num_classes = 10;
+  d.images = tensor::Tensor({count, 1, 28, 28});
+  d.labels.resize(static_cast<std::size_t>(count));
+  float* base = d.images.raw();
+  for (std::int64_t i = 0; i < count; ++i) {
+    const int digit = static_cast<int>(i % 10);  // balanced classes
+    const int dy = static_cast<int>(rng.uniform_index(
+                       static_cast<std::uint64_t>(2 * opt.jitter + 1))) -
+                   opt.jitter;
+    const int dx = static_cast<int>(rng.uniform_index(
+                       static_cast<std::uint64_t>(2 * opt.jitter + 1))) -
+                   opt.jitter;
+    const float intensity = static_cast<float>(rng.uniform(0.7, 1.0));
+    render_digit(base + i * 28 * 28, digit, dy, dx, intensity, opt.noise,
+                 opt.stroke_dropout, rng);
+    d.labels[static_cast<std::size_t>(i)] = digit;
+  }
+  return d;
+}
+
+// ---- synthetic CIFAR-10: oriented color textures --------------------------
+//
+// Difficulty comes from deliberately *shared* attributes: classes c and
+// c+5 share a palette and an orientation band and differ only in shape
+// family and texture frequency, so no single cue separates all ten
+// classes; per-sample jitter (orientation, color, brightness, phase,
+// placement), a random distractor shape in a foreign palette, and heavy
+// pixel noise give large intra-class variance, which is what keeps
+// small nets and small visit budgets in the paper's 30–90% band.
+
+struct Rgb {
+  float r, g, b;
+};
+
+// Five palettes; palette p serves classes p and p+5.
+constexpr std::array<std::array<Rgb, 2>, 5> kPalettes = {{
+    {{{0.85f, 0.30f, 0.25f}, {0.20f, 0.45f, 0.70f}}},
+    {{{0.25f, 0.70f, 0.35f}, {0.75f, 0.65f, 0.20f}}},
+    {{{0.30f, 0.35f, 0.80f}, {0.85f, 0.80f, 0.75f}}},
+    {{{0.80f, 0.60f, 0.25f}, {0.30f, 0.25f, 0.40f}}},
+    {{{0.55f, 0.25f, 0.60f}, {0.70f, 0.75f, 0.30f}}},
+}};
+
+void render_texture(float* image, int cls, double difficulty,
+                    util::Rng& rng) {
+  constexpr int kH = 32, kW = 32;
+  constexpr double kPi = 3.14159265358979;
+  const auto& palette = kPalettes[static_cast<std::size_t>(cls % 5)];
+
+  // Orientation band shared by c and c+5; wide jitter overlaps bands.
+  const double base_theta = (cls % 5) * (kPi / 5.0);
+  const double theta = base_theta + rng.normal(0.0, 0.10 * difficulty);
+  // Frequency separates c from c+5 (5 % 3 == 2, so (c%3) differs).
+  const double freq = 2.5 + (cls % 3) * 1.7 +
+                      rng.normal(0.0, 0.25 * difficulty);
+  const double phase = rng.uniform(0.0, 2.0 * kPi);
+  const double ct = std::cos(theta), st = std::sin(theta);
+
+  // Shape family separates the low five classes from the high five.
+  const bool disc_family = cls < 5;
+  const double cy = rng.uniform(8.0, 24.0);
+  const double cx = rng.uniform(8.0, 24.0);
+  const double radius = rng.uniform(3.0, 12.0);
+
+  // Distractor: a second shape in a random foreign palette.
+  const auto& dpal =
+      kPalettes[static_cast<std::size_t>(rng.uniform_index(5))];
+  const bool distractor_disc = rng.bernoulli(0.5);
+  const double dy0 = rng.uniform(6.0, 26.0);
+  const double dx0 = rng.uniform(6.0, 26.0);
+  const double dradius = rng.uniform(3.0, 7.0);
+  const auto& dpal2 =
+      kPalettes[static_cast<std::size_t>(rng.uniform_index(5))];
+  const bool distractor2_disc = rng.bernoulli(0.5);
+  const double dy1 = rng.uniform(4.0, 28.0);
+  const double dx1 = rng.uniform(4.0, 28.0);
+  const double dradius2 = rng.uniform(2.0, 5.0);
+
+  // Per-sample photometric jitter.
+  const float mix = static_cast<float>(rng.uniform(0.25, 0.75));
+  const float brightness = static_cast<float>(rng.uniform(0.85, 1.15));
+  const float color_jitter[3] = {
+      static_cast<float>(rng.uniform(-0.08, 0.08) * difficulty),
+      static_cast<float>(rng.uniform(-0.08, 0.08) * difficulty),
+      static_cast<float>(rng.uniform(-0.08, 0.08) * difficulty)};
+  const double noise_sd = 0.07 * difficulty;
+
+  auto inside_shape = [](bool disc, double y, double x, double cy0,
+                         double cx0, double r) {
+    if (disc) {
+      const double ddy = y - cy0, ddx = x - cx0;
+      return ddy * ddy + ddx * ddx <= r * r;
+    }
+    return std::fabs(y - cy0) <= r * 0.8 && std::fabs(x - cx0) <= r * 0.8;
+  };
+
+  for (int y = 0; y < kH; ++y) {
+    for (int x = 0; x < kW; ++x) {
+      const double proj = (x * ct + y * st) / kW;
+      const double wave =
+          0.5 + 0.5 * std::sin(2.0 * kPi * freq * proj + phase);
+      const bool inside =
+          inside_shape(disc_family, y, x, cy, cx, radius);
+      const bool in_d1 =
+          inside_shape(distractor_disc, y, x, dy0, dx0, dradius);
+      const bool in_d2 =
+          inside_shape(distractor2_disc, y, x, dy1, dx1, dradius2);
+
+      const Rgb& fg = in_d1 ? dpal[0] : (in_d2 ? dpal2[0] : palette[0]);
+      const Rgb& bg = in_d1 ? dpal[1] : (in_d2 ? dpal2[1] : palette[1]);
+      const float blend = inside ? (1.f - mix) : mix;
+      const float w = static_cast<float>(wave);
+      const float channels[3] = {
+          blend * fg.r + (1.f - blend) * bg.r * w,
+          blend * fg.g + (1.f - blend) * bg.g * w,
+          blend * fg.b + (1.f - blend) * bg.b * w,
+      };
+      for (int c = 0; c < 3; ++c) {
+        const float n = static_cast<float>(rng.normal(0.0, noise_sd));
+        image[(c * kH + y) * kW + x] = std::clamp(
+            brightness * (channels[c] + color_jitter[c]) + n, 0.f, 1.f);
+      }
+    }
+  }
+}
+
+Dataset make_cifar_split(const char* split, std::int64_t count,
+                         const CifarOptions& opt, util::Rng& rng) {
+  Dataset d;
+  d.name = std::string(kCifarName) + "/" + split;
+  d.num_classes = 10;
+  d.images = tensor::Tensor({count, 3, 32, 32});
+  d.labels.resize(static_cast<std::size_t>(count));
+  float* base = d.images.raw();
+  const std::int64_t sample_sz = 3 * 32 * 32;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const int cls = static_cast<int>(i % 10);
+    render_texture(base + i * sample_sz, cls, opt.difficulty, rng);
+    d.labels[static_cast<std::size_t>(i)] = cls;
+  }
+  return d;
+}
+
+}  // namespace
+
+DatasetPair synthetic_mnist(const MnistOptions& options) {
+  DLB_CHECK(options.train_samples > 0 && options.test_samples > 0,
+            "sample counts must be positive");
+  util::Rng rng(options.seed);
+  util::Rng train_rng = rng.fork();
+  util::Rng test_rng = rng.fork();
+  DatasetPair pair;
+  pair.train =
+      make_mnist_split("train", options.train_samples, options, train_rng);
+  pair.test =
+      make_mnist_split("test", options.test_samples, options, test_rng);
+  pair.train.validate();
+  pair.test.validate();
+  return pair;
+}
+
+DatasetPair synthetic_cifar10(const CifarOptions& options) {
+  DLB_CHECK(options.train_samples > 0 && options.test_samples > 0,
+            "sample counts must be positive");
+  util::Rng rng(options.seed);
+  util::Rng train_rng = rng.fork();
+  util::Rng test_rng = rng.fork();
+  DatasetPair pair;
+  pair.train =
+      make_cifar_split("train", options.train_samples, options, train_rng);
+  pair.test =
+      make_cifar_split("test", options.test_samples, options, test_rng);
+  pair.train.validate();
+  pair.test.validate();
+  return pair;
+}
+
+}  // namespace dlbench::data

@@ -1,0 +1,39 @@
+#include "frameworks/config.hpp"
+
+namespace dlbench::frameworks {
+
+const char* to_string(FrameworkKind kind) {
+  switch (kind) {
+    case FrameworkKind::kTensorFlow: return "TensorFlow";
+    case FrameworkKind::kCaffe: return "Caffe";
+    case FrameworkKind::kTorch: return "Torch";
+  }
+  return "unknown";
+}
+
+const char* to_string(DatasetId id) {
+  switch (id) {
+    case DatasetId::kMnist: return "MNIST";
+    case DatasetId::kCifar10: return "CIFAR-10";
+  }
+  return "unknown";
+}
+
+const char* to_string(OptimizerAlgo algo) {
+  switch (algo) {
+    case OptimizerAlgo::kSgd: return "SGD";
+    case OptimizerAlgo::kAdam: return "Adam";
+  }
+  return "unknown";
+}
+
+const char* to_string(Regularizer reg) {
+  switch (reg) {
+    case Regularizer::kNone: return "none";
+    case Regularizer::kDropout: return "drop out";
+    case Regularizer::kWeightDecay: return "weight decay";
+  }
+  return "unknown";
+}
+
+}  // namespace dlbench::frameworks

@@ -1,0 +1,137 @@
+#include "frameworks/emulations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dlbench::frameworks {
+
+namespace {
+
+/// Converts a setting's epoch-based lr phases into a step-based
+/// schedule. Phase boundaries keep their *relative* position when the
+/// harness scales epochs down (Caffe's 8+2 split stays 80%/20%).
+optim::LrSchedule schedule_from(const TrainingConfig& config,
+                                std::int64_t total_steps) {
+  if (config.lr_phases.empty()) return optim::LrSchedule(config.base_lr);
+  std::vector<std::int64_t> boundaries;
+  std::vector<double> rates;
+  for (const auto& [epoch_boundary, rate] : config.lr_phases) {
+    const double frac = epoch_boundary / config.epochs;
+    boundaries.push_back(static_cast<std::int64_t>(
+        std::round(frac * static_cast<double>(total_steps))));
+    rates.push_back(rate);
+  }
+  return optim::LrSchedule(config.base_lr, std::move(boundaries),
+                           std::move(rates));
+}
+
+// `momentum` is the *framework's* solver policy, not the setting's:
+// Table II/III list only algorithm, lr, batch and iterations, so when a
+// setting crosses frameworks it meets the host framework's solver
+// defaults. Caffe's solver template always applies momentum 0.9 — which
+// is why TF's CIFAR-10 setting (lr 0.1, tuned for momentum-free SGD)
+// blows up inside Caffe (paper Table VIIc: 10.10%).
+std::unique_ptr<optim::Optimizer> build_optimizer(const TrainingConfig& config,
+                                                  std::int64_t total_steps,
+                                                  double momentum,
+                                                  double weight_decay) {
+  optim::LrSchedule schedule = schedule_from(config, total_steps);
+  if (config.algo == OptimizerAlgo::kAdam)
+    return std::make_unique<optim::Adam>(std::move(schedule), 0.9, 0.999,
+                                         1e-8, weight_decay);
+  return std::make_unique<optim::Sgd>(std::move(schedule), momentum,
+                                      weight_decay);
+}
+
+}  // namespace
+
+// ---- TensorFlow-like ----
+
+nn::Sequential TfLikeFramework::build_model(const nn::NetworkSpec& spec,
+                                            const Device&,
+                                            util::Rng& rng) const {
+  // Inject dropout(0.5) before the classifier fc — TF's regularizer.
+  nn::NetworkSpec with_dropout = spec;
+  for (auto it = with_dropout.ops.rbegin(); it != with_dropout.ops.rend();
+       ++it) {
+    if (it->kind == nn::LayerSpec::Kind::kLinear) {
+      with_dropout.ops.insert(it.base() - 1, nn::LayerSpec::dropout(0.5f));
+      break;
+    }
+  }
+  return nn::build_model(with_dropout, rng, nn::ConvImpl::kGemm);
+}
+
+std::unique_ptr<optim::Optimizer> TfLikeFramework::make_optimizer(
+    const TrainingConfig& config, std::int64_t /*steps_per_epoch*/,
+    std::int64_t total_steps) const {
+  // TF tutorials use plain GradientDescent (or Adam where the setting
+  // says so) and regularize via dropout, not the solver.
+  return build_optimizer(config, total_steps, /*momentum=*/0.0,
+                         /*weight_decay=*/0.0);
+}
+
+void TfLikeFramework::prepare(nn::Sequential& model,
+                              const tensor::Tensor& sample,
+                              const nn::Context& ctx) const {
+  // Graph compilation: trace the network once to fix shapes and
+  // allocation plans before step 0 (a real TF session does this on
+  // first run). The dry-run executes in inference mode so dropout masks
+  // and cached activations from it cannot leak into training.
+  nn::Context trace_ctx = ctx;
+  trace_ctx.training = false;
+  (void)model.forward(sample, trace_ctx);
+}
+
+// ---- Caffe-like ----
+
+nn::Sequential CaffeLikeFramework::build_model(const nn::NetworkSpec& spec,
+                                               const Device&,
+                                               util::Rng& rng) const {
+  return nn::build_model(spec, rng, nn::ConvImpl::kGemm);
+}
+
+std::unique_ptr<optim::Optimizer> CaffeLikeFramework::make_optimizer(
+    const TrainingConfig& config, std::int64_t /*steps_per_epoch*/,
+    std::int64_t total_steps) const {
+  // Caffe's solver prototxts ship momentum 0.9 + weight decay; both
+  // apply no matter whose hyperparameters it is asked to run.
+  return build_optimizer(config, total_steps, /*momentum=*/0.9, kWeightDecay);
+}
+
+// ---- Torch-like ----
+
+nn::Sequential TorchLikeFramework::build_model(const nn::NetworkSpec& spec,
+                                               const Device& device,
+                                               util::Rng& rng) const {
+  const nn::ConvImpl impl =
+      device.is_parallel() ? nn::ConvImpl::kGemm : nn::ConvImpl::kDirect;
+  return nn::build_model(spec, rng, impl);
+}
+
+std::unique_ptr<optim::Optimizer> TorchLikeFramework::make_optimizer(
+    const TrainingConfig& config, std::int64_t /*steps_per_epoch*/,
+    std::int64_t total_steps) const {
+  // Torch demos call optim.sgd with no momentum and no weight decay.
+  return build_optimizer(config, total_steps, /*momentum=*/0.0,
+                         /*weight_decay=*/0.0);
+}
+
+// ---- factory ----
+
+std::unique_ptr<Framework> make_framework(FrameworkKind kind) {
+  switch (kind) {
+    case FrameworkKind::kTensorFlow:
+      return std::make_unique<TfLikeFramework>();
+    case FrameworkKind::kCaffe:
+      return std::make_unique<CaffeLikeFramework>();
+    case FrameworkKind::kTorch:
+      return std::make_unique<TorchLikeFramework>();
+  }
+  DLB_CHECK(false, "unknown framework kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace dlbench::frameworks

@@ -1,0 +1,67 @@
+#pragma once
+
+// The three concrete framework emulations. See DESIGN.md §2 for the
+// substitution rationale; each class header documents which published
+// behaviours it reproduces.
+
+#include "frameworks/framework.hpp"
+
+namespace dlbench::frameworks {
+
+/// TensorFlow 1.3 emulation: graph-compiled session (a dry-run trace
+/// before step 0), GEMM convolutions, dropout(0.5) injected before the
+/// classifier layer — TF's regularizer in the paper's Table IX.
+class TfLikeFramework final : public Framework {
+ public:
+  FrameworkKind kind() const override { return FrameworkKind::kTensorFlow; }
+  Regularizer regularizer() const override { return Regularizer::kDropout; }
+
+  nn::Sequential build_model(const nn::NetworkSpec& spec, const Device& device,
+                             util::Rng& rng) const override;
+  std::unique_ptr<optim::Optimizer> make_optimizer(
+      const TrainingConfig& config, std::int64_t steps_per_epoch,
+      std::int64_t total_steps) const override;
+  void prepare(nn::Sequential& model, const tensor::Tensor& sample,
+               const nn::Context& ctx) const override;
+  std::int64_t eval_batch_size() const override { return 100; }
+};
+
+/// Caffe 1.0 emulation: layer-wise solver, GEMM convolutions, L2
+/// weight decay (0.0005) applied through the solver — Caffe's
+/// regularizer in the paper's Table IX.
+class CaffeLikeFramework final : public Framework {
+ public:
+  static constexpr double kWeightDecay = 0.0005;
+
+  FrameworkKind kind() const override { return FrameworkKind::kCaffe; }
+  Regularizer regularizer() const override {
+    return Regularizer::kWeightDecay;
+  }
+
+  nn::Sequential build_model(const nn::NetworkSpec& spec, const Device& device,
+                             util::Rng& rng) const override;
+  std::unique_ptr<optim::Optimizer> make_optimizer(
+      const TrainingConfig& config, std::int64_t steps_per_epoch,
+      std::int64_t total_steps) const override;
+  std::int64_t eval_batch_size() const override { return 100; }
+};
+
+/// Torch7 emulation: eager module dispatch, direct convolution on the
+/// CPU device (SpatialConvolutionMap) and GEMM convolution on the GPU
+/// device (SpatialConvolutionMM) — the implementation split the paper
+/// uses to explain Torch's CPU/GPU accuracy flip — and sample-by-sample
+/// evaluation, which drives its long testing times.
+class TorchLikeFramework final : public Framework {
+ public:
+  FrameworkKind kind() const override { return FrameworkKind::kTorch; }
+  Regularizer regularizer() const override { return Regularizer::kNone; }
+
+  nn::Sequential build_model(const nn::NetworkSpec& spec, const Device& device,
+                             util::Rng& rng) const override;
+  std::unique_ptr<optim::Optimizer> make_optimizer(
+      const TrainingConfig& config, std::int64_t steps_per_epoch,
+      std::int64_t total_steps) const override;
+  std::int64_t eval_batch_size() const override { return 1; }
+};
+
+}  // namespace dlbench::frameworks

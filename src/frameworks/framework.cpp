@@ -1,0 +1,110 @@
+#include "frameworks/framework.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/stopwatch.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::frameworks {
+
+void Framework::prepare(nn::Sequential&, const tensor::Tensor&,
+                        const nn::Context&) const {}
+
+TrainResult Framework::train(nn::Sequential& model,
+                             const data::Dataset& train_set,
+                             const TrainingConfig& config,
+                             const Device& device,
+                             const TrainOptions& options) const {
+  DLB_CHECK(train_set.size() > 0, "empty training set");
+  DLB_CHECK(config.batch_size > 0, "batch size must be positive");
+
+  const std::int64_t n = train_set.size();
+  const std::int64_t steps_per_epoch =
+      (n + config.batch_size - 1) / config.batch_size;
+  const double epochs = options.scale.scale_epochs(config.epochs);
+  std::int64_t total_steps = static_cast<std::int64_t>(
+      std::ceil(epochs * static_cast<double>(steps_per_epoch)));
+  total_steps = std::max(total_steps, options.min_steps_floor);
+  total_steps = std::max<std::int64_t>(1, options.scale.cap_steps(total_steps));
+
+  auto optimizer = make_optimizer(config, steps_per_epoch, total_steps);
+
+  util::Rng rng(options.seed);
+  util::Rng loader_rng = rng.fork();
+  util::Rng dropout_rng = rng.fork();
+
+  nn::Context ctx;
+  ctx.device = device;
+  ctx.training = true;
+  ctx.rng = &dropout_rng;
+
+  data::DataLoader loader(train_set, config.batch_size, /*shuffle=*/true,
+                          loader_rng);
+
+  TrainResult result;
+  runtime::Stopwatch clock;
+
+  // Session setup (e.g. TF graph compile) counts toward training time.
+  prepare(model, train_set.sample(0), ctx);
+
+  std::int64_t step = 0;
+  data::Batch batch;
+  while (step < total_steps) {
+    loader.start_epoch();
+    while (step < total_steps && loader.next(batch)) {
+      model.zero_grads();
+      nn::LossResult loss = model.forward_loss(batch.images, batch.labels, ctx);
+      model.backward(loss, batch.labels, ctx);
+      optimizer->step(model.params(), model.grads(), step, device);
+
+      if (step % options.loss_record_interval == 0 ||
+          step + 1 == total_steps) {
+        result.loss_curve.emplace_back(step, loss.loss);
+      }
+      result.final_loss = loss.loss;
+      ++step;
+    }
+  }
+
+  result.train_time_s = clock.seconds();
+  result.steps = step;
+  result.epochs_run = static_cast<double>(step) /
+                      static_cast<double>(steps_per_epoch);
+  // Chance-level mean cross-entropy for C classes is ln(C); a run that
+  // never gets meaningfully below it did not converge (paper Fig. 5).
+  const double chance_loss =
+      std::log(static_cast<double>(train_set.num_classes));
+  result.converged = std::isfinite(result.final_loss) &&
+                     result.final_loss < 0.95 * chance_loss;
+  return result;
+}
+
+EvalResult Framework::evaluate(nn::Sequential& model,
+                               const data::Dataset& test_set,
+                               const Device& device) const {
+  DLB_CHECK(test_set.size() > 0, "empty test set");
+  nn::Context ctx;
+  ctx.device = device;
+  ctx.training = false;
+
+  util::Rng unused(0);
+  data::DataLoader loader(test_set, eval_batch_size(), /*shuffle=*/false,
+                          unused);
+
+  EvalResult result;
+  runtime::Stopwatch clock;
+  data::Batch batch;
+  while (loader.next(batch)) {
+    const auto predictions = model.predict(batch.images, ctx);
+    for (std::size_t i = 0; i < predictions.size(); ++i)
+      if (predictions[i] == batch.labels[i]) ++result.correct;
+    result.total += batch.size();
+  }
+  result.test_time_s = clock.seconds();
+  result.accuracy_pct = 100.0 * static_cast<double>(result.correct) /
+                        static_cast<double>(result.total);
+  return result;
+}
+
+}  // namespace dlbench::frameworks

@@ -1,0 +1,237 @@
+#include "frameworks/registry.hpp"
+
+#include "util/error.hpp"
+
+namespace dlbench::frameworks {
+
+using nn::LayerSpec;
+using nn::NetworkSpec;
+using tensor::InitKind;
+
+TrainingConfig default_training_config(FrameworkKind kind, DatasetId dataset) {
+  TrainingConfig cfg;
+  if (dataset == DatasetId::kMnist) {
+    switch (kind) {
+      case FrameworkKind::kTensorFlow:
+        // Table II, TF column.
+        cfg.label = "TF MNIST";
+        cfg.algo = OptimizerAlgo::kAdam;
+        cfg.base_lr = 0.0001;
+        cfg.batch_size = 50;
+        cfg.epochs = 16.67;
+        cfg.momentum = 0.0;  // Adam ignores momentum
+        cfg.paper_max_iterations = 20000;
+        return cfg;
+      case FrameworkKind::kCaffe:
+        cfg.label = "Caffe MNIST";
+        cfg.algo = OptimizerAlgo::kSgd;
+        cfg.base_lr = 0.01;
+        cfg.batch_size = 64;
+        cfg.epochs = 10.67;
+        cfg.momentum = 0.9;
+        cfg.paper_max_iterations = 10000;
+        return cfg;
+      case FrameworkKind::kTorch:
+        cfg.label = "Torch MNIST";
+        cfg.algo = OptimizerAlgo::kSgd;
+        cfg.base_lr = 0.05;
+        cfg.batch_size = 10;
+        cfg.epochs = 20.0;
+        cfg.momentum = 0.0;
+        cfg.preprocessing = data::Preprocessing::kGlobalChannelNormalize;
+        cfg.paper_max_iterations = 120000;
+        return cfg;
+    }
+  }
+  switch (kind) {
+    case FrameworkKind::kTensorFlow:
+      // Table III, TF column.
+      cfg.label = "TF CIFAR-10";
+      cfg.algo = OptimizerAlgo::kSgd;
+      cfg.base_lr = 0.1;
+      cfg.batch_size = 128;
+      cfg.epochs = 2560.0;
+      cfg.momentum = 0.0;  // the TF tutorial uses plain GradientDescent
+      cfg.preprocessing = data::Preprocessing::kPerImageStandardize;
+      cfg.paper_max_iterations = 1000000;
+      return cfg;
+    case FrameworkKind::kCaffe:
+      cfg.label = "Caffe CIFAR-10";
+      cfg.algo = OptimizerAlgo::kSgd;
+      cfg.base_lr = 0.001;
+      cfg.lr_phases = {{8.0, 0.0001}};  // phase 2: 0.0001 after 8 epochs
+      cfg.batch_size = 100;
+      cfg.epochs = 10.0;  // 8 + 2
+      cfg.momentum = 0.9;
+      cfg.preprocessing = data::Preprocessing::kMeanSubtract;
+      cfg.paper_max_iterations = 5000;
+      return cfg;
+    case FrameworkKind::kTorch:
+      cfg.label = "Torch CIFAR-10";
+      cfg.algo = OptimizerAlgo::kSgd;
+      cfg.base_lr = 0.001;
+      cfg.batch_size = 1;
+      cfg.epochs = 20.0;
+      cfg.momentum = 0.0;
+      cfg.preprocessing = data::Preprocessing::kGlobalChannelNormalize;
+      // The Torch demo trains on 5,000 of the 50,000 CIFAR-10 images;
+      // that is how the paper's 100,000 iterations = 20 epochs at batch
+      // size 1 (§III-A) comes out.
+      cfg.train_fraction = 0.1;
+      cfg.paper_max_iterations = 100000;
+      return cfg;
+  }
+  DLB_CHECK(false, "unknown framework/dataset");
+  return cfg;  // unreachable
+}
+
+NetworkSpec default_network_spec(FrameworkKind kind, DatasetId dataset) {
+  NetworkSpec spec;
+  if (dataset == DatasetId::kMnist) {
+    spec.input_channels = 1;
+    spec.input_height = 28;
+    spec.input_width = 28;
+    switch (kind) {
+      case FrameworkKind::kTensorFlow:
+        // Table IV, TF column: SAME-padded convs, ReLU, 2x2 pools,
+        // fc 3136->1024, fc 1024->10.
+        spec.name = "TF-MNIST-net";
+        spec.init = InitKind::kTruncatedNormal;
+        spec.ops = {
+            LayerSpec::conv(32, 5, /*pad=*/2), LayerSpec::relu(),
+            LayerSpec::max_pool(2, 2),
+            LayerSpec::conv(64, 5, /*pad=*/2), LayerSpec::relu(),
+            LayerSpec::max_pool(2, 2),
+            LayerSpec::linear(1024),           LayerSpec::relu(),
+            LayerSpec::linear(10),
+        };
+        return spec;
+      case FrameworkKind::kCaffe:
+        // Table IV, Caffe column: LeNet — valid convs, ceil-mode pools,
+        // fc 800->500 (ReLU), fc 500->10.
+        spec.name = "Caffe-MNIST-net";
+        spec.init = InitKind::kXavierUniform;
+        spec.ops = {
+            LayerSpec::conv(20, 5), LayerSpec::max_pool(2, 2, true),
+            LayerSpec::conv(50, 5), LayerSpec::max_pool(2, 2, true),
+            LayerSpec::linear(500), LayerSpec::relu(),
+            LayerSpec::linear(10),
+        };
+        return spec;
+      case FrameworkKind::kTorch:
+        // Table IV, Torch column: Tanh nets, 3x3 pools; stride 2 yields
+        // the printed 3x3x64->200 fc dims.
+        spec.name = "Torch-MNIST-net";
+        spec.init = InitKind::kLecunUniform;
+        spec.ops = {
+            LayerSpec::conv(32, 5), LayerSpec::tanh(),
+            LayerSpec::max_pool(3, 2),
+            LayerSpec::conv(64, 5), LayerSpec::tanh(),
+            LayerSpec::max_pool(3, 2),
+            LayerSpec::linear(200), LayerSpec::tanh(),
+            LayerSpec::linear(10),
+        };
+        return spec;
+    }
+  }
+  spec.input_channels = 3;
+  spec.input_height = 32;
+  spec.input_width = 32;
+  switch (kind) {
+    case FrameworkKind::kTensorFlow:
+      // Table V, TF column: two conv+LRN blocks (norm after pool in
+      // block 1, before pool in block 2), fc 3136->384->192->10.
+      spec.name = "TF-CIFAR-net";
+      spec.init = InitKind::kTruncatedNormal;
+      spec.ops = {
+          LayerSpec::conv(64, 5, /*pad=*/2), LayerSpec::relu(),
+          LayerSpec::max_pool(3, 2),         LayerSpec::lrn(),
+          LayerSpec::conv(64, 5, /*pad=*/2), LayerSpec::relu(),
+          LayerSpec::lrn(),                  LayerSpec::max_pool(3, 2),
+          LayerSpec::linear(384),            LayerSpec::relu(),
+          LayerSpec::linear(192),            LayerSpec::relu(),
+          LayerSpec::linear(10),
+      };
+      return spec;
+    case FrameworkKind::kCaffe:
+      // Table V, Caffe column: cifar10_quick — 3 convs, ceil pools,
+      // fc 1024->64->10.
+      spec.name = "Caffe-CIFAR-net";
+      spec.init = InitKind::kXavierUniform;
+      spec.ops = {
+          LayerSpec::conv(32, 5, /*pad=*/2),
+          LayerSpec::max_pool(3, 2, true),
+          LayerSpec::relu(),
+          LayerSpec::conv(32, 5, /*pad=*/2),
+          LayerSpec::relu(),
+          LayerSpec::avg_pool(3, 2, true),
+          LayerSpec::conv(64, 5, /*pad=*/2),
+          LayerSpec::relu(),
+          LayerSpec::avg_pool(3, 2, true),
+          LayerSpec::linear(64),
+          LayerSpec::linear(10),
+      };
+      return spec;
+    case FrameworkKind::kTorch:
+      // Table V, Torch column: Tanh net, 2x2 pools, fc 6400->128->10.
+      spec.name = "Torch-CIFAR-net";
+      spec.init = InitKind::kLecunUniform;
+      spec.ops = {
+          LayerSpec::conv(16, 5),  LayerSpec::tanh(),
+          LayerSpec::max_pool(2, 2),
+          LayerSpec::conv(256, 5), LayerSpec::tanh(),
+          LayerSpec::max_pool(2, 2),
+          LayerSpec::linear(128),  LayerSpec::tanh(),
+          LayerSpec::linear(10),
+      };
+      return spec;
+  }
+  DLB_CHECK(false, "unknown framework/dataset");
+  return spec;  // unreachable
+}
+
+FrameworkInfo framework_info(FrameworkKind kind) {
+  FrameworkInfo info;
+  switch (kind) {
+    case FrameworkKind::kTensorFlow:
+      info.name = "TensorFlow";
+      info.paper_version = "1.3.0";
+      info.paper_hash = "ab0fcac";
+      info.paper_library = "Eigen & CUDA";
+      info.paper_interface = "Java, Python, Go, R";
+      info.paper_loc = 1281085;
+      info.paper_license = "Apache";
+      info.paper_website = "https://www.tensorflow.org/";
+      info.emulation =
+          "graph-compiled executor, fused GEMM conv, dropout regularizer";
+      return info;
+    case FrameworkKind::kCaffe:
+      info.name = "Caffe";
+      info.paper_version = "1.0.0";
+      info.paper_hash = "c430690";
+      info.paper_library = "OpenBLAS & CUDA";
+      info.paper_interface = "Python, Matlab";
+      info.paper_loc = 69608;
+      info.paper_license = "BSD";
+      info.paper_website = "http://caffe.berkeleyvision.org/";
+      info.emulation =
+          "layer-wise solver, preallocated blobs, weight-decay regularizer";
+      return info;
+    case FrameworkKind::kTorch:
+      info.name = "Torch";
+      info.paper_version = "torch7";
+      info.paper_hash = "0219027";
+      info.paper_library = "optim & CUDA";
+      info.paper_interface = "Lua";
+      info.paper_loc = 29750;
+      info.paper_license = "BSD";
+      info.paper_website = "http://torch.ch/";
+      info.emulation =
+          "eager module dispatch, direct conv on CPU / GEMM conv on GPU";
+      return info;
+  }
+  DLB_CHECK(false, "unknown framework");
+  return info;  // unreachable
+}
+
+}  // namespace dlbench::frameworks

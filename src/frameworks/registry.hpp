@@ -1,0 +1,33 @@
+#pragma once
+
+// The default-configuration registry: Tables I–V of the paper as data.
+//
+// Every experiment in the paper is a cross-product over this registry —
+// "framework F trains dataset D using the default setting S(F', D')".
+// default_training_config and default_network_spec return the setting
+// that framework F' ships for dataset D'; the Framework object applies
+// its own execution model and regularizer on top.
+
+#include "frameworks/config.hpp"
+#include "nn/network_spec.hpp"
+
+namespace dlbench::frameworks {
+
+/// Table II/III rows: the training hyperparameters framework `kind`
+/// ships for dataset `dataset`.
+TrainingConfig default_training_config(FrameworkKind kind, DatasetId dataset);
+
+/// Table IV/V rows: the network structure framework `kind` ships for
+/// dataset `dataset` (without the framework-injected regularizer).
+nn::NetworkSpec default_network_spec(FrameworkKind kind, DatasetId dataset);
+
+/// Table I row for framework `kind`.
+FrameworkInfo framework_info(FrameworkKind kind);
+
+/// All frameworks / datasets, in paper order.
+inline constexpr FrameworkKind kAllFrameworks[] = {
+    FrameworkKind::kTensorFlow, FrameworkKind::kCaffe, FrameworkKind::kTorch};
+inline constexpr DatasetId kAllDatasets[] = {DatasetId::kMnist,
+                                             DatasetId::kCifar10};
+
+}  // namespace dlbench::frameworks

@@ -1,0 +1,95 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace dlbench::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x444c4243;  // "DLBC"
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_i64(std::ostream& out, std::int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DLB_CHECK(in.good(), "checkpoint stream truncated");
+  return v;
+}
+
+std::int64_t read_i64(std::istream& in) {
+  std::int64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DLB_CHECK(in.good(), "checkpoint stream truncated");
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(Sequential& model, std::ostream& out) {
+  const auto params = model.params();
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const tensor::Tensor* p : params) {
+    write_u32(out, static_cast<std::uint32_t>(p->shape().rank()));
+    for (int d = 0; d < p->shape().rank(); ++d)
+      write_i64(out, p->shape().dim(d));
+    out.write(reinterpret_cast<const char*>(p->raw()),
+              static_cast<std::streamsize>(p->numel() * sizeof(float)));
+  }
+  DLB_CHECK(out.good(), "checkpoint write failed");
+}
+
+void save_checkpoint(Sequential& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  DLB_CHECK(out.is_open(), "cannot open " << path << " for writing");
+  save_checkpoint(model, out);
+}
+
+void load_checkpoint(Sequential& model, std::istream& in) {
+  DLB_CHECK(read_u32(in) == kMagic, "not a dlbench checkpoint");
+  const std::uint32_t version = read_u32(in);
+  DLB_CHECK(version == kVersion, "unsupported checkpoint version "
+                                     << version);
+  const auto params = model.params();
+  const std::uint32_t count = read_u32(in);
+  DLB_CHECK(count == params.size(),
+            "checkpoint holds " << count << " tensors, model expects "
+                                << params.size());
+  for (tensor::Tensor* p : params) {
+    const std::uint32_t rank = read_u32(in);
+    DLB_CHECK(rank == static_cast<std::uint32_t>(p->shape().rank()),
+              "tensor rank mismatch: " << rank << " vs "
+                                       << p->shape().rank());
+    for (int d = 0; d < p->shape().rank(); ++d) {
+      const std::int64_t dim = read_i64(in);
+      DLB_CHECK(dim == p->shape().dim(d),
+                "tensor dim mismatch at axis " << d << ": " << dim << " vs "
+                                               << p->shape().dim(d));
+    }
+    in.read(reinterpret_cast<char*>(p->raw()),
+            static_cast<std::streamsize>(p->numel() * sizeof(float)));
+    DLB_CHECK(in.good(), "checkpoint stream truncated mid-tensor");
+  }
+}
+
+void load_checkpoint(Sequential& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DLB_CHECK(in.is_open(), "cannot open " << path << " for reading");
+  load_checkpoint(model, in);
+}
+
+}  // namespace dlbench::nn

@@ -1,0 +1,29 @@
+#pragma once
+
+// Model checkpointing.
+//
+// The paper notes that "pre-trained models are made available on many
+// platforms, such as Caffe Model Zoo" — a benchmark suite needs to save
+// and restore trained parameters to separate training cost from
+// inference/robustness measurements. The format is a small
+// versioned binary container: magic, version, tensor count, then each
+// tensor as rank + dims + raw float32 data (little-endian).
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace dlbench::nn {
+
+/// Serializes every parameter tensor of `model`, in layer order.
+void save_checkpoint(Sequential& model, std::ostream& out);
+void save_checkpoint(Sequential& model, const std::string& path);
+
+/// Restores parameters saved by save_checkpoint. The model must have
+/// the same architecture (same parameter count and shapes); throws
+/// dlbench::Error on any mismatch or corrupt stream.
+void load_checkpoint(Sequential& model, std::istream& in);
+void load_checkpoint(Sequential& model, const std::string& path);
+
+}  // namespace dlbench::nn

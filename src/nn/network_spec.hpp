@@ -1,0 +1,104 @@
+#pragma once
+
+// Declarative network descriptions.
+//
+// The paper compares *configurations*, so networks are data here: a
+// NetworkSpec lists atomic ops (conv / pool / activation / lrn /
+// dropout / fc) exactly as Tables IV and V describe them, and
+// build_model() materializes it into a Sequential with shapes inferred
+// layer by layer. The pretty printer regenerates the table rows.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/init.hpp"
+
+namespace dlbench::nn {
+
+/// One atomic op in a network description.
+struct LayerSpec {
+  enum class Kind {
+    kConv,
+    kMaxPool,
+    kAvgPool,
+    kRelu,
+    kTanh,
+    kDropout,
+    kLrn,
+    kLinear,
+  };
+
+  Kind kind;
+  // conv
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 0;
+  std::int64_t pad = 0;
+  // conv & pool
+  std::int64_t stride = 1;
+  // pool
+  std::int64_t window = 0;
+  bool ceil_mode = false;
+  // linear
+  std::int64_t out_features = 0;
+  // dropout
+  float drop_p = 0.f;
+
+  static LayerSpec conv(std::int64_t out_channels, std::int64_t kernel,
+                        std::int64_t pad = 0, std::int64_t stride = 1);
+  static LayerSpec max_pool(std::int64_t window, std::int64_t stride,
+                            bool ceil_mode = false);
+  static LayerSpec avg_pool(std::int64_t window, std::int64_t stride,
+                            bool ceil_mode = false);
+  static LayerSpec relu();
+  static LayerSpec tanh();
+  static LayerSpec dropout(float p);
+  static LayerSpec lrn();
+  static LayerSpec linear(std::int64_t out_features);
+};
+
+/// A complete network: input geometry + op list + init scheme.
+struct NetworkSpec {
+  std::string name;
+  std::int64_t input_channels = 1;
+  std::int64_t input_height = 28;
+  std::int64_t input_width = 28;
+  tensor::InitKind init = tensor::InitKind::kXavierUniform;
+  std::vector<LayerSpec> ops;
+
+  /// Number of conv + fc layers (the paper's "N-layer" count).
+  int num_weight_layers() const;
+
+  /// Output width of the first fully connected layer (the "feature
+  /// maps" knob ablated in Tables VIII/IX), 0 if there is none.
+  std::int64_t first_fc_width() const;
+
+  /// Returns a copy whose first fc layer is resized to `width`
+  /// (Table IX's 1024→…/500→… ablation).
+  NetworkSpec with_first_fc_width(std::int64_t width) const;
+
+  /// Paper-style per-layer rows, e.g.
+  /// "conv 5x5, 1->32, ReLU, MaxPooling(2x2)".
+  std::vector<std::string> describe_layers() const;
+};
+
+/// Which convolution kernel to materialize. Torch7 used a direct
+/// (non-GEMM) kernel on CPU and a GEMM kernel on GPU; the emulations
+/// reproduce that split (see nn/conv_direct.hpp).
+enum class ConvImpl { kGemm, kDirect };
+
+/// Materializes a spec into layers, inferring every intermediate shape.
+/// A Flatten is inserted automatically before the first Linear. Throws
+/// if shapes do not compose.
+Sequential build_model(const NetworkSpec& spec, util::Rng& rng,
+                       ConvImpl conv_impl = ConvImpl::kGemm);
+
+/// Estimated forward-pass FLOPs for one sample (2 x MACs of every conv
+/// and fc, plus pooling/activation/LRN traffic). The harness uses this
+/// to convert a per-run compute budget into a deterministic step cap,
+/// so cheap nets get proportionally more optimizer steps — mirroring
+/// how the paper's per-framework iteration counts relate.
+std::int64_t spec_forward_flops(const NetworkSpec& spec);
+
+}  // namespace dlbench::nn

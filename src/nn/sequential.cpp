@@ -1,0 +1,91 @@
+#include "nn/sequential.hpp"
+
+#include <sstream>
+
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::nn {
+
+Sequential::Sequential(std::vector<LayerPtr> layers)
+    : layers_(std::move(layers)) {}
+
+void Sequential::add(LayerPtr layer) {
+  DLB_CHECK(layer != nullptr, "cannot add a null layer");
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& x, const Context& ctx) {
+  DLB_CHECK(!layers_.empty(), "empty model");
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, ctx);
+  return h;
+}
+
+LossResult Sequential::forward_loss(const Tensor& x,
+                                    const std::vector<std::int64_t>& labels,
+                                    const Context& ctx) {
+  LossResult r;
+  r.logits = forward(x, ctx);
+  r.probabilities = tensor::softmax_rows(r.logits, ctx.device);
+  r.loss = tensor::cross_entropy_mean(r.probabilities, labels);
+  return r;
+}
+
+Tensor Sequential::backward(const LossResult& result,
+                            const std::vector<std::int64_t>& labels,
+                            const Context& ctx) {
+  Tensor grad = tensor::softmax_cross_entropy_backward(result.probabilities,
+                                                       labels, ctx.device);
+  return backward_from_logits(grad, ctx);
+}
+
+Tensor Sequential::backward_from_logits(const Tensor& dlogits,
+                                        const Context& ctx) {
+  DLB_CHECK(!layers_.empty(), "empty model");
+  Tensor g = dlogits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g, ctx);
+  return g;
+}
+
+std::vector<Tensor*> Sequential::params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (Tensor* p : layer->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Sequential::grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_)
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  return out;
+}
+
+void Sequential::zero_grads() {
+  for (auto& layer : layers_) layer->zero_grads();
+}
+
+std::int64_t Sequential::num_params() {
+  std::int64_t n = 0;
+  for (auto& layer : layers_) n += layer->num_params();
+  return n;
+}
+
+std::vector<std::int64_t> Sequential::predict(const Tensor& x,
+                                              const Context& ctx) {
+  Context eval_ctx = ctx;
+  eval_ctx.training = false;
+  Tensor logits = forward(x, eval_ctx);
+  return tensor::argmax_rows(logits);
+}
+
+std::string Sequential::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    os << "  (" << i << ") " << layers_[i]->describe() << "\n";
+  return os.str();
+}
+
+}  // namespace dlbench::nn

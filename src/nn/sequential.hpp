@@ -1,0 +1,71 @@
+#pragma once
+
+// A feed-forward stack of layers with an integrated softmax
+// cross-entropy head — the model shape every net in the paper uses.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dlbench::nn {
+
+/// Output of one forward+loss evaluation.
+struct LossResult {
+  Tensor logits;        // [N, classes]
+  Tensor probabilities; // softmax(logits)
+  double loss = 0.0;    // mean cross-entropy
+};
+
+/// An owned sequence of layers ending (implicitly) in softmax
+/// cross-entropy. The loss head lives here rather than as a layer so
+/// the gradient seed (probs - onehot)/N is fused, as in all three
+/// frameworks under study.
+class Sequential {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<LayerPtr> layers);
+
+  /// Appends a layer.
+  void add(LayerPtr layer);
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Plain forward pass, logits out.
+  Tensor forward(const Tensor& x, const Context& ctx);
+
+  /// Forward + softmax + mean cross-entropy against integer labels.
+  LossResult forward_loss(const Tensor& x,
+                          const std::vector<std::int64_t>& labels,
+                          const Context& ctx);
+
+  /// Backpropagates from the fused loss head through every layer,
+  /// accumulating parameter gradients; returns dL/dinput.
+  /// Requires a preceding forward_loss() on the same batch.
+  Tensor backward(const LossResult& result,
+                  const std::vector<std::int64_t>& labels,
+                  const Context& ctx);
+
+  /// Backpropagates an arbitrary logit-space gradient (used by the
+  /// adversarial module to differentiate single logits for JSMA).
+  Tensor backward_from_logits(const Tensor& dlogits, const Context& ctx);
+
+  /// All parameters / gradients across layers, in layer order.
+  std::vector<Tensor*> params();
+  std::vector<Tensor*> grads();
+  void zero_grads();
+  std::int64_t num_params();
+
+  /// Predicted class per row.
+  std::vector<std::int64_t> predict(const Tensor& x, const Context& ctx);
+
+  /// Multi-line structural description.
+  std::string describe() const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace dlbench::nn

@@ -1,0 +1,42 @@
+#include "runtime/device.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace dlbench::runtime {
+
+namespace {
+
+std::shared_ptr<ThreadPool> shared_global_pool() {
+  // One process-wide pool for all GPU devices: spawning a pool per
+  // Device would oversubscribe cores when experiments create devices
+  // in loops.
+  static std::shared_ptr<ThreadPool> pool = std::make_shared<ThreadPool>(
+      std::max(2u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace
+
+Device Device::cpu() { return Device(Kind::kCpu, nullptr); }
+
+Device Device::gpu() { return Device(Kind::kGpu, shared_global_pool()); }
+
+Device Device::parallel(std::size_t workers) {
+  if (workers <= 1) return cpu();
+  return Device(Kind::kGpu, std::make_shared<ThreadPool>(workers));
+}
+
+void Device::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) const {
+  if (count == 0) return;
+  if (!pool_ || count <= grain) {
+    fn(0, count);
+    return;
+  }
+  pool_->parallel_for_ranges(count, fn);
+}
+
+}  // namespace dlbench::runtime

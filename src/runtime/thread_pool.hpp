@@ -1,0 +1,60 @@
+#pragma once
+
+// Fixed-size worker pool with a parallel_for primitive.
+//
+// This is the execution substrate behind the simulated "GPU" device:
+// data-parallel kernels (matmul tiles, conv output rows, per-sample
+// batch work) are sliced across the pool. A pool of size 1 executes
+// inline on the calling thread, which is how the "CPU" device runs.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dlbench::runtime {
+
+/// A fixed set of worker threads consuming a shared task queue.
+/// Destruction joins all workers after draining outstanding tasks.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. 0 or 1 means "inline execution":
+  /// no threads are spawned and submitted work runs on the caller.
+  explicit ThreadPool(std::size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  std::size_t size() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count), partitioned into contiguous chunks
+  /// across the pool. Blocks until every index has been processed.
+  /// Exceptions from fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Like parallel_for but hands each worker a [begin, end) range, which
+  /// avoids per-index std::function overhead in hot kernels.
+  void parallel_for_ranges(
+      std::size_t count,
+      const std::function<void(std::size_t begin, std::size_t end)>& fn);
+
+ private:
+  void worker_loop();
+  void submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool sized to the hardware concurrency; lazily created.
+ThreadPool& global_pool();
+
+}  // namespace dlbench::runtime

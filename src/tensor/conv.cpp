@@ -1,0 +1,280 @@
+#include "tensor/conv.hpp"
+
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dlbench::tensor {
+
+using runtime::Device;
+
+void im2col(const float* image, const ConvGeom& g, float* columns) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t ohw = oh * ow;
+  // columns is [in_c * k * k, oh * ow], row-major.
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+        const std::int64_t row = (c * g.kernel + ky) * g.kernel + kx;
+        float* out_row = columns + row * ohw;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(out_row + y * ow, 0,
+                        static_cast<std::size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* in_row = image + (c * g.in_h + iy) * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.pad;
+            out_row[y * ow + x] =
+                (ix >= 0 && ix < g.in_w) ? in_row[ix] : 0.f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, const ConvGeom& g, float* image) {
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t ohw = oh * ow;
+  std::memset(image, 0,
+              static_cast<std::size_t>(g.in_c * g.in_h * g.in_w) *
+                  sizeof(float));
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    for (std::int64_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+        const std::int64_t row = (c * g.kernel + ky) * g.kernel + kx;
+        const float* in_row = columns + row * ohw;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* img_row = image + (c * g.in_h + iy) * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kx - g.pad;
+            if (ix >= 0 && ix < g.in_w) img_row[ix] += in_row[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+void check_conv_args(const Tensor& x, const Tensor& weight,
+                     const Tensor& bias, const ConvGeom& g) {
+  DLB_CHECK(x.shape().rank() == 4, "conv input must be [N, C, H, W]");
+  DLB_CHECK(x.dim(1) == g.in_c && x.dim(2) == g.in_h && x.dim(3) == g.in_w,
+            "conv input " << x.shape().to_string()
+                          << " does not match geometry");
+  DLB_CHECK(weight.shape().rank() == 2 && weight.dim(0) == g.out_c &&
+                weight.dim(1) == g.patch_size(),
+            "conv weight must be [out_c, in_c*k*k], got "
+                << weight.shape().to_string());
+  DLB_CHECK(bias.shape().rank() == 1 && bias.dim(0) == g.out_c,
+            "conv bias must be [out_c]");
+  DLB_CHECK(g.out_h() > 0 && g.out_w() > 0,
+            "conv output is empty for input " << g.in_h << "x" << g.in_w);
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
+                      const Tensor& bias, const ConvGeom& g,
+                      const Device& dev) {
+  check_conv_args(x, weight, bias, g);
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
+  const std::int64_t patch = g.patch_size();
+  Tensor y({n, g.out_c, oh, ow});
+
+  const float* px = x.raw();
+  const float* pw = weight.raw();
+  const float* pb = bias.raw();
+  float* py = y.raw();
+  const std::int64_t in_sz = g.in_c * g.in_h * g.in_w;
+  const std::int64_t out_sz = g.out_c * ohw;
+
+  // GEMM for one unfolded sample, 4-channel blocking so each column row
+  // is read once per 4 output channels: out[oc, :] = W[oc, :]*columns+b.
+  auto gemm_sample = [&](const float* columns, float* out, std::int64_t oc_lo,
+                         std::int64_t oc_hi) {
+    std::int64_t oc = oc_lo;
+    for (; oc + 4 <= oc_hi; oc += 4) {
+      float* o0 = out + (oc + 0) * ohw;
+      float* o1 = out + (oc + 1) * ohw;
+      float* o2 = out + (oc + 2) * ohw;
+      float* o3 = out + (oc + 3) * ohw;
+      std::fill_n(o0, ohw, pb[oc + 0]);
+      std::fill_n(o1, ohw, pb[oc + 1]);
+      std::fill_n(o2, ohw, pb[oc + 2]);
+      std::fill_n(o3, ohw, pb[oc + 3]);
+      const float* w0 = pw + (oc + 0) * patch;
+      const float* w1 = pw + (oc + 1) * patch;
+      const float* w2 = pw + (oc + 2) * patch;
+      const float* w3 = pw + (oc + 3) * patch;
+      for (std::int64_t p = 0; p < patch; ++p) {
+        const float v0 = w0[p], v1 = w1[p], v2 = w2[p], v3 = w3[p];
+        const float* crow = columns + p * ohw;
+        for (std::int64_t j = 0; j < ohw; ++j) {
+          const float cv = crow[j];
+          o0[j] += v0 * cv;
+          o1[j] += v1 * cv;
+          o2[j] += v2 * cv;
+          o3[j] += v3 * cv;
+        }
+      }
+    }
+    for (; oc < oc_hi; ++oc) {
+      float* orow = out + oc * ohw;
+      std::fill_n(orow, ohw, pb[oc]);
+      const float* wrow = pw + oc * patch;
+      for (std::int64_t p = 0; p < patch; ++p) {
+        const float wv = wrow[p];
+        if (wv == 0.f) continue;
+        const float* crow = columns + p * ohw;
+        for (std::int64_t j = 0; j < ohw; ++j) orow[j] += wv * crow[j];
+      }
+    }
+  };
+
+  if (n >= 4 || !dev.is_parallel()) {
+    // Batch-level parallelism.
+    dev.parallel_for(
+        static_cast<std::size_t>(n),
+        [&](std::size_t lo, std::size_t hi) {
+          std::vector<float> columns(static_cast<std::size_t>(patch * ohw));
+          for (std::size_t i = lo; i < hi; ++i) {
+            im2col(px + static_cast<std::int64_t>(i) * in_sz, g,
+                   columns.data());
+            gemm_sample(columns.data(), py + static_cast<std::int64_t>(i) *
+                                                 out_sz,
+                        0, g.out_c);
+          }
+        },
+        1);
+    return y;
+  }
+
+  // Tiny batches on the parallel device: unfold serially, split the
+  // GEMM across output channels (how GPU conv kernels keep SMs busy at
+  // batch size 1, e.g. Torch's CIFAR-10 default).
+  std::vector<float> columns(static_cast<std::size_t>(patch * ohw));
+  for (std::int64_t i = 0; i < n; ++i) {
+    im2col(px + i * in_sz, g, columns.data());
+    float* out = py + i * out_sz;
+    dev.parallel_for(
+        static_cast<std::size_t>(g.out_c),
+        [&](std::size_t lo, std::size_t hi) {
+          gemm_sample(columns.data(), out, static_cast<std::int64_t>(lo),
+                      static_cast<std::int64_t>(hi));
+        },
+        1);
+  }
+  return y;
+}
+
+ConvGrads conv2d_backward(const Tensor& x, const Tensor& weight,
+                          const Tensor& dy, const ConvGeom& g,
+                          const Device& dev) {
+  const std::int64_t n = x.dim(0);
+  const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
+  const std::int64_t patch = g.patch_size();
+  DLB_CHECK(dy.shape() == Shape({n, g.out_c, oh, ow}),
+            "conv dy shape " << dy.shape().to_string() << " unexpected");
+
+  ConvGrads grads{Tensor(x.shape()), Tensor(weight.shape()),
+                  Tensor({g.out_c})};
+  const float* px = x.raw();
+  const float* pw = weight.raw();
+  const float* pdy = dy.raw();
+  float* pdx = grads.dx.raw();
+  const std::int64_t in_sz = g.in_c * g.in_h * g.in_w;
+  const std::int64_t out_sz = g.out_c * ohw;
+
+  std::mutex reduce_mu;
+
+  dev.parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<float> columns(static_cast<std::size_t>(patch * ohw));
+        std::vector<float> dcolumns(static_cast<std::size_t>(patch * ohw));
+        std::vector<float> local_dw(static_cast<std::size_t>(g.out_c * patch),
+                                    0.f);
+        std::vector<float> local_db(static_cast<std::size_t>(g.out_c), 0.f);
+
+        for (std::size_t i = lo; i < hi; ++i) {
+          const float* xin = px + static_cast<std::int64_t>(i) * in_sz;
+          const float* dyo = pdy + static_cast<std::int64_t>(i) * out_sz;
+          im2col(xin, g, columns.data());
+
+          // db[oc] += sum dy[oc, :]
+          for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+            const float* drow = dyo + oc * ohw;
+            float db_acc = 0.f;
+            for (std::int64_t j = 0; j < ohw; ++j) db_acc += drow[j];
+            local_db[static_cast<std::size_t>(oc)] += db_acc;
+          }
+
+          // Fused per-patch pass, 4-channel blocking:
+          //   dW[oc, p]     += dy[oc, :] · columns[p, :]
+          //   dcolumns[p,:] += W[oc, p] * dy[oc, :]
+          for (std::int64_t p = 0; p < patch; ++p) {
+            const float* crow = columns.data() + p * ohw;
+            float* dcrow = dcolumns.data() + p * ohw;
+            std::memset(dcrow, 0,
+                        static_cast<std::size_t>(ohw) * sizeof(float));
+            std::int64_t oc = 0;
+            for (; oc + 4 <= g.out_c; oc += 4) {
+              const float* d0 = dyo + (oc + 0) * ohw;
+              const float* d1 = dyo + (oc + 1) * ohw;
+              const float* d2 = dyo + (oc + 2) * ohw;
+              const float* d3 = dyo + (oc + 3) * ohw;
+              const float w0 = pw[(oc + 0) * patch + p];
+              const float w1 = pw[(oc + 1) * patch + p];
+              const float w2 = pw[(oc + 2) * patch + p];
+              const float w3 = pw[(oc + 3) * patch + p];
+              float a0 = 0.f, a1 = 0.f, a2 = 0.f, a3 = 0.f;
+              for (std::int64_t j = 0; j < ohw; ++j) {
+                const float cv = crow[j];
+                a0 += d0[j] * cv;
+                a1 += d1[j] * cv;
+                a2 += d2[j] * cv;
+                a3 += d3[j] * cv;
+                dcrow[j] += w0 * d0[j] + w1 * d1[j] + w2 * d2[j] + w3 * d3[j];
+              }
+              local_dw[static_cast<std::size_t>((oc + 0) * patch + p)] += a0;
+              local_dw[static_cast<std::size_t>((oc + 1) * patch + p)] += a1;
+              local_dw[static_cast<std::size_t>((oc + 2) * patch + p)] += a2;
+              local_dw[static_cast<std::size_t>((oc + 3) * patch + p)] += a3;
+            }
+            for (; oc < g.out_c; ++oc) {
+              const float* drow = dyo + oc * ohw;
+              const float wv = pw[oc * patch + p];
+              float acc = 0.f;
+              for (std::int64_t j = 0; j < ohw; ++j) {
+                acc += drow[j] * crow[j];
+                dcrow[j] += wv * drow[j];
+              }
+              local_dw[static_cast<std::size_t>(oc * patch + p)] += acc;
+            }
+          }
+          col2im(dcolumns.data(), g,
+                 pdx + static_cast<std::int64_t>(i) * in_sz);
+        }
+
+        std::lock_guard<std::mutex> lock(reduce_mu);
+        float* gw = grads.dweight.raw();
+        float* gb = grads.dbias.raw();
+        for (std::size_t k = 0; k < local_dw.size(); ++k) gw[k] += local_dw[k];
+        for (std::size_t k = 0; k < local_db.size(); ++k) gb[k] += local_db[k];
+      },
+      1);
+  return grads;
+}
+
+}  // namespace dlbench::tensor

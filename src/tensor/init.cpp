@@ -1,0 +1,55 @@
+#include "tensor/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dlbench::tensor {
+
+void initialize(Tensor& w, InitKind kind, std::int64_t fan_in,
+                std::int64_t fan_out, util::Rng& rng) {
+  DLB_CHECK(fan_in > 0, "fan_in must be positive");
+  (void)fan_out;
+  switch (kind) {
+    case InitKind::kXavierUniform: {
+      const float limit = std::sqrt(3.0f / static_cast<float>(fan_in));
+      for (auto& v : w.data())
+        v = static_cast<float>(rng.uniform(-limit, limit));
+      break;
+    }
+    case InitKind::kTruncatedNormal: {
+      // TF's tutorial models hand-pick the stddev per layer (0.1 for
+      // the MNIST fcs, 0.05/0.04 for the CIFAR convs/fcs). Those
+      // choices track 2/sqrt(fan_in), which is what we use: fan 75 →
+      // 0.1 (clamped), fan 1600 → 0.05, fan 3136 → 0.036.
+      const float stddev = std::min(
+          0.1f, 2.0f / std::sqrt(static_cast<float>(fan_in)));
+      for (auto& v : w.data()) {
+        float s;
+        do {
+          s = static_cast<float>(rng.normal(0.0, stddev));
+        } while (std::fabs(s) > 2 * stddev);
+        v = s;
+      }
+      break;
+    }
+    case InitKind::kLecunUniform: {
+      const float limit = 1.0f / std::sqrt(static_cast<float>(fan_in));
+      for (auto& v : w.data())
+        v = static_cast<float>(rng.uniform(-limit, limit));
+      break;
+    }
+  }
+}
+
+const char* init_kind_name(InitKind kind) {
+  switch (kind) {
+    case InitKind::kXavierUniform: return "xavier";
+    case InitKind::kTruncatedNormal: return "truncated_normal";
+    case InitKind::kLecunUniform: return "lecun_uniform";
+  }
+  return "unknown";
+}
+
+}  // namespace dlbench::tensor

@@ -1,0 +1,27 @@
+#pragma once
+
+// Weight initializers. The frameworks under study differed here too:
+// Caffe's reference nets use Xavier, TF's tutorials used truncated
+// normals, Torch used fan-in-scaled uniform (LeCun). The framework
+// emulations pick their historical default via this enum.
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace dlbench::tensor {
+
+enum class InitKind {
+  kXavierUniform,    // Caffe "xavier": U(+-sqrt(3/fan_in)) variant
+  kTruncatedNormal,  // TF tutorials: N(0, 0.1) truncated at 2 sigma
+  kLecunUniform,     // Torch default: U(+-1/sqrt(fan_in))
+};
+
+/// Fills `w` in place. fan_in/fan_out describe the layer geometry.
+void initialize(Tensor& w, InitKind kind, std::int64_t fan_in,
+                std::int64_t fan_out, util::Rng& rng);
+
+const char* init_kind_name(InitKind kind);
+
+}  // namespace dlbench::tensor

@@ -1,0 +1,173 @@
+#include "tensor/matmul.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace dlbench::tensor {
+
+using runtime::Device;
+
+namespace {
+
+// Rows-of-A parallel GEMM, 4-row register blocking so each row of B is
+// read once per 4 output rows (the kernel is bandwidth-bound otherwise):
+// C[m..m+3, :] += A[m..m+3, k] * B[k, :].
+void gemm_rows(const float* a, const float* b, float* c, std::int64_t M,
+               std::int64_t K, std::int64_t N, const Device& dev) {
+  dev.parallel_for(
+      static_cast<std::size_t>(M),
+      [&](std::size_t lo, std::size_t hi) {
+        std::size_t m = lo;
+        for (; m + 4 <= hi; m += 4) {
+          float* c0 = c + (m + 0) * static_cast<std::size_t>(N);
+          float* c1 = c + (m + 1) * static_cast<std::size_t>(N);
+          float* c2 = c + (m + 2) * static_cast<std::size_t>(N);
+          float* c3 = c + (m + 3) * static_cast<std::size_t>(N);
+          std::memset(c0, 0, static_cast<std::size_t>(N) * sizeof(float));
+          std::memset(c1, 0, static_cast<std::size_t>(N) * sizeof(float));
+          std::memset(c2, 0, static_cast<std::size_t>(N) * sizeof(float));
+          std::memset(c3, 0, static_cast<std::size_t>(N) * sizeof(float));
+          const float* a0 = a + (m + 0) * static_cast<std::size_t>(K);
+          const float* a1 = a + (m + 1) * static_cast<std::size_t>(K);
+          const float* a2 = a + (m + 2) * static_cast<std::size_t>(K);
+          const float* a3 = a + (m + 3) * static_cast<std::size_t>(K);
+          for (std::int64_t k = 0; k < K; ++k) {
+            const float v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
+            if (v0 == 0.f && v1 == 0.f && v2 == 0.f && v3 == 0.f) continue;
+            const float* brow = b + static_cast<std::size_t>(k * N);
+            for (std::int64_t n = 0; n < N; ++n) {
+              const float bv = brow[n];
+              c0[n] += v0 * bv;
+              c1[n] += v1 * bv;
+              c2[n] += v2 * bv;
+              c3[n] += v3 * bv;
+            }
+          }
+        }
+        for (; m < hi; ++m) {
+          float* crow = c + m * static_cast<std::size_t>(N);
+          std::memset(crow, 0, static_cast<std::size_t>(N) * sizeof(float));
+          const float* arow = a + m * static_cast<std::size_t>(K);
+          for (std::int64_t k = 0; k < K; ++k) {
+            const float av = arow[k];
+            if (av == 0.f) continue;  // sparse activations are common
+            const float* brow = b + static_cast<std::size_t>(k * N);
+            for (std::int64_t n = 0; n < N; ++n) crow[n] += av * brow[n];
+          }
+        }
+      },
+      4);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b, const Device& dev) {
+  DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+            "matmul expects rank-2 operands");
+  const std::int64_t M = a.dim(0), K = a.dim(1);
+  DLB_CHECK(b.dim(0) == K, "matmul: inner dims " << K << " vs " << b.dim(0));
+  const std::int64_t N = b.dim(1);
+  Tensor c({M, N});
+  gemm_rows(a.raw(), b.raw(), c.raw(), M, K, N, dev);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b, const Device& dev) {
+  // a is stored [K, M]; compute C[M, N] = sum_k a[k, m] * b[k, n].
+  DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+            "matmul_tn expects rank-2 operands");
+  const std::int64_t K = a.dim(0), M = a.dim(1);
+  DLB_CHECK(b.dim(0) == K, "matmul_tn: inner dims " << K << " vs " << b.dim(0));
+  const std::int64_t N = b.dim(1);
+  Tensor c({M, N});
+  float* pc = c.raw();
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  dev.parallel_for(
+      static_cast<std::size_t>(M),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t m = lo; m < hi; ++m) {
+          float* crow = pc + m * static_cast<std::size_t>(N);
+          std::memset(crow, 0, static_cast<std::size_t>(N) * sizeof(float));
+          for (std::int64_t k = 0; k < K; ++k) {
+            const float av = pa[static_cast<std::size_t>(k * M) + m];
+            if (av == 0.f) continue;
+            const float* brow = pb + static_cast<std::size_t>(k * N);
+            for (std::int64_t n = 0; n < N; ++n) crow[n] += av * brow[n];
+          }
+        }
+      },
+      4);
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b, const Device& dev) {
+  // b is stored [N, K]; compute C[M, N] = sum_k a[m, k] * b[n, k].
+  DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+            "matmul_nt expects rank-2 operands");
+  const std::int64_t M = a.dim(0), K = a.dim(1);
+  DLB_CHECK(b.dim(1) == K, "matmul_nt: inner dims " << K << " vs " << b.dim(1));
+  const std::int64_t N = b.dim(0);
+  Tensor c({M, N});
+  float* pc = c.raw();
+  const float* pa = a.raw();
+  const float* pb = b.raw();
+  dev.parallel_for(
+      static_cast<std::size_t>(M),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t m = lo; m < hi; ++m) {
+          const float* arow = pa + m * static_cast<std::size_t>(K);
+          float* crow = pc + m * static_cast<std::size_t>(N);
+          for (std::int64_t n = 0; n < N; ++n) {
+            const float* brow = pb + static_cast<std::size_t>(n * K);
+            float acc = 0.f;
+            for (std::int64_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+            crow[n] = acc;
+          }
+        }
+      },
+      4);
+  return c;
+}
+
+void add_row_bias(Tensor& y, const Tensor& bias, const Device& dev) {
+  DLB_CHECK(y.shape().rank() == 2 && bias.shape().rank() == 1,
+            "add_row_bias expects [M,N] and [N]");
+  const std::int64_t M = y.dim(0), N = y.dim(1);
+  DLB_CHECK(bias.dim(0) == N, "bias length mismatch");
+  float* py = y.raw();
+  const float* pb = bias.raw();
+  dev.parallel_for(
+      static_cast<std::size_t>(M),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t m = lo; m < hi; ++m) {
+          float* row = py + m * static_cast<std::size_t>(N);
+          for (std::int64_t n = 0; n < N; ++n) row[n] += pb[n];
+        }
+      },
+      16);
+}
+
+Tensor column_sums(const Tensor& x, const Device& dev) {
+  DLB_CHECK(x.shape().rank() == 2, "column_sums expects rank-2 tensor");
+  const std::int64_t M = x.dim(0), N = x.dim(1);
+  Tensor out({N});
+  float* po = out.raw();
+  const float* px = x.raw();
+  // Parallel over columns to avoid write contention.
+  dev.parallel_for(
+      static_cast<std::size_t>(N),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t n = lo; n < hi; ++n) {
+          float acc = 0.f;
+          for (std::int64_t m = 0; m < M; ++m)
+            acc += px[static_cast<std::size_t>(m * N) + n];
+          po[n] = acc;
+        }
+      },
+      64);
+  return out;
+}
+
+}  // namespace dlbench::tensor

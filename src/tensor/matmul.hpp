@@ -1,0 +1,27 @@
+#pragma once
+
+// Dense GEMM kernels. Convolution lowers to matmul via im2col, and the
+// fully connected layers are matmuls directly, so this is the hot path
+// of every experiment.
+
+#include "runtime/device.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlbench::tensor {
+
+/// C = A(MxK) * B(KxN). Parallelized over rows of A on the GPU device.
+Tensor matmul(const Tensor& a, const Tensor& b, const runtime::Device& dev);
+
+/// C = A^T(MxK as KxM stored) * B(KxN)  → matmul_tn(a, b): a is [K, M].
+Tensor matmul_tn(const Tensor& a, const Tensor& b, const runtime::Device& dev);
+
+/// C = A(MxK) * B^T where b is [N, K]  → result [M, N].
+Tensor matmul_nt(const Tensor& a, const Tensor& b, const runtime::Device& dev);
+
+/// y[M,N] += bias[N] broadcast over rows.
+void add_row_bias(Tensor& y, const Tensor& bias, const runtime::Device& dev);
+
+/// Column-sum of a [M, N] tensor → [N] (bias gradient).
+Tensor column_sums(const Tensor& x, const runtime::Device& dev);
+
+}  // namespace dlbench::tensor

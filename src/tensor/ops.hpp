@@ -1,0 +1,77 @@
+#pragma once
+
+// Elementwise / reduction kernels. Every kernel takes a Device and
+// parallelizes on the "GPU" device via Device::parallel_for, so CPU/GPU
+// runs exercise identical numerics with different execution models.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/device.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlbench::tensor {
+
+using runtime::Device;
+
+// ---- elementwise (out-of-place unless noted) ----
+
+/// out = a + b (same shape).
+Tensor add(const Tensor& a, const Tensor& b, const Device& dev);
+/// out = a - b (same shape).
+Tensor sub(const Tensor& a, const Tensor& b, const Device& dev);
+/// out = a * b, elementwise (same shape).
+Tensor mul(const Tensor& a, const Tensor& b, const Device& dev);
+/// out = a * s.
+Tensor scale(const Tensor& a, float s, const Device& dev);
+
+/// a += b, in place.
+void add_inplace(Tensor& a, const Tensor& b, const Device& dev);
+/// a += s * b, in place (axpy).
+void axpy_inplace(Tensor& a, float s, const Tensor& b, const Device& dev);
+/// a *= s, in place.
+void scale_inplace(Tensor& a, float s, const Device& dev);
+
+/// ReLU forward: out = max(x, 0).
+Tensor relu(const Tensor& x, const Device& dev);
+/// ReLU backward: dx = dy * (x > 0).
+Tensor relu_backward(const Tensor& x, const Tensor& dy, const Device& dev);
+
+/// Tanh forward.
+Tensor tanh_op(const Tensor& x, const Device& dev);
+/// Tanh backward given the *output* y: dx = dy * (1 - y^2).
+Tensor tanh_backward(const Tensor& y, const Tensor& dy, const Device& dev);
+
+/// sign() as used by FGSM: +1 / 0 / -1 per element.
+Tensor sign(const Tensor& x, const Device& dev);
+
+/// Clamps every element to [lo, hi].
+Tensor clamp(const Tensor& x, float lo, float hi, const Device& dev);
+
+// ---- reductions / rows ----
+
+/// Sum of all elements.
+double sum(const Tensor& x);
+/// Mean of all elements (0 for empty).
+double mean_of(const Tensor& x);
+/// Index of the max element in row `r` of a [N, M] tensor.
+std::int64_t argmax_row(const Tensor& x, std::int64_t r);
+/// Argmax per row of a [N, M] tensor.
+std::vector<std::int64_t> argmax_rows(const Tensor& x);
+
+// ---- softmax / losses ----
+
+/// Row-wise softmax of a [N, C] tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits, const Device& dev);
+
+/// Mean cross-entropy of row-softmax probabilities vs integer labels.
+double cross_entropy_mean(const Tensor& probs,
+                          const std::vector<std::int64_t>& labels);
+
+/// Gradient of mean cross-entropy w.r.t. logits given softmax output:
+/// d = (probs - onehot(labels)) / N.
+Tensor softmax_cross_entropy_backward(const Tensor& probs,
+                                      const std::vector<std::int64_t>& labels,
+                                      const Device& dev);
+
+}  // namespace dlbench::tensor

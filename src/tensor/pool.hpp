@@ -1,0 +1,56 @@
+#pragma once
+
+// Max / average pooling. The paper's default nets use MaxPooling(2x2),
+// MaxPooling(3x3) and AveragePooling(3x3) (Tables IV and V); strides
+// default to the window size (non-overlapping) unless specified, and a
+// ceil-mode output size matches Caffe's pooling arithmetic.
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/device.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlbench::tensor {
+
+struct PoolGeom {
+  std::int64_t channels = 0, in_h = 0, in_w = 0;
+  std::int64_t window = 2;
+  std::int64_t stride = 2;
+  /// Caffe rounds pooling output sizes up (covering the edge with a
+  /// partial window); TF's VALID pooling and Torch round down. The
+  /// paper's Table IV/V layer dimensions only come out exactly when
+  /// each emulation uses its framework's historical rounding.
+  bool ceil_mode = false;
+
+  std::int64_t out_h() const { return out_dim(in_h); }
+  std::int64_t out_w() const { return out_dim(in_w); }
+
+ private:
+  std::int64_t out_dim(std::int64_t in) const {
+    if (in < window) return ceil_mode ? 1 : 0;  // window larger than input
+    if (ceil_mode) return (in - window + stride - 1) / stride + 1;
+    return (in - window) / stride + 1;
+  }
+};
+
+/// Max pool forward. `argmax` (same numel as the output) records the
+/// flat input offset of each selected element for the backward pass.
+Tensor maxpool_forward(const Tensor& x, const PoolGeom& g,
+                       std::vector<std::int32_t>& argmax,
+                       const runtime::Device& dev);
+
+/// Max pool backward: routes dy to the recorded argmax positions.
+Tensor maxpool_backward(const Tensor& dy, const PoolGeom& g,
+                        const std::vector<std::int32_t>& argmax,
+                        const runtime::Device& dev);
+
+/// Average pool forward.
+Tensor avgpool_forward(const Tensor& x, const PoolGeom& g,
+                       const runtime::Device& dev);
+
+/// Average pool backward: spreads dy uniformly over each window.
+Tensor avgpool_backward(const Tensor& dy, const PoolGeom& g,
+                        const runtime::Device& dev);
+
+}  // namespace dlbench::tensor

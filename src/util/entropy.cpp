@@ -1,0 +1,57 @@
+#include "util/entropy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dlbench::util {
+
+double shannon_entropy(std::span<const float> values, int bins) {
+  DLB_CHECK(bins > 0, "entropy needs at least one bin");
+  if (values.empty()) return 0.0;
+  std::vector<std::size_t> hist(static_cast<std::size_t>(bins), 0);
+  for (float v : values) {
+    double clamped = std::clamp(static_cast<double>(v), 0.0, 1.0);
+    auto idx = static_cast<std::size_t>(
+        std::min<double>(clamped * bins, bins - 1));
+    ++hist[idx];
+  }
+  double h = 0.0;
+  const double n = static_cast<double>(values.size());
+  for (std::size_t c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double sparsity(std::span<const float> values, float threshold) {
+  if (values.empty()) return 0.0;
+  std::size_t zeros = 0;
+  for (float v : values)
+    if (std::fabs(v) <= threshold) ++zeros;
+  return static_cast<double>(zeros) / static_cast<double>(values.size());
+}
+
+double mean(std::span<const float> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (float v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const float> values) {
+  if (values.empty()) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (float v : values) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+}  // namespace dlbench::util

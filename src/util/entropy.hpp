@@ -1,0 +1,29 @@
+#pragma once
+
+// Dataset entropy / sparsity statistics.
+//
+// The paper attributes MNIST's faster training and higher accuracy to
+// its "sparseness and gray scale [that] give the data low entropy"
+// (§III-B). These estimators let the data module report comparable
+// statistics for the synthetic datasets so that the substitution can be
+// validated quantitatively.
+
+#include <cstddef>
+#include <span>
+
+namespace dlbench::util {
+
+/// Shannon entropy (bits/value) of values in [0,1] histogrammed into
+/// `bins` equal-width buckets. Returns 0 for empty input.
+double shannon_entropy(std::span<const float> values, int bins = 32);
+
+/// Fraction of values whose magnitude is <= `threshold`.
+double sparsity(std::span<const float> values, float threshold = 0.05f);
+
+/// Mean of the values (0 for empty input).
+double mean(std::span<const float> values);
+
+/// Population standard deviation (0 for empty input).
+double stddev(std::span<const float> values);
+
+}  // namespace dlbench::util

@@ -1,0 +1,51 @@
+#pragma once
+
+// Error handling primitives for dlbench.
+//
+// The library throws dlbench::Error (a std::runtime_error) for
+// recoverable misuse (bad shapes, bad configs). DLB_CHECK is the
+// preferred way to validate preconditions on public API boundaries;
+// DLB_ASSERT guards internal invariants and compiles out in NDEBUG.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dlbench {
+
+/// Exception type thrown by all dlbench components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "dlbench check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace dlbench
+
+/// Validate a precondition; throws dlbench::Error with context on failure.
+/// Usage: DLB_CHECK(x > 0, "x must be positive, got " << x);
+#define DLB_CHECK(cond, msg_expr)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::ostringstream dlb_check_os_;                                  \
+      dlb_check_os_ << msg_expr;                                         \
+      ::dlbench::detail::throw_error(#cond, __FILE__, __LINE__,          \
+                                     dlb_check_os_.str());               \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define DLB_ASSERT(cond) ((void)0)
+#else
+#define DLB_ASSERT(cond) DLB_CHECK(cond, "internal invariant")
+#endif

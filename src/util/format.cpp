@@ -1,0 +1,53 @@
+#include "util/format.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dlbench::util {
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds < 10.0) return format_fixed(seconds, 3);
+  return format_fixed(seconds, 2);
+}
+
+std::string format_percent(double fraction_0_to_100) {
+  return format_fixed(fraction_0_to_100, 2);
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string to_lower(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace dlbench::util

@@ -1,0 +1,33 @@
+#pragma once
+
+// Small string / number formatting helpers shared across modules.
+
+#include <string>
+#include <vector>
+
+namespace dlbench::util {
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string format_fixed(double value, int digits);
+
+/// Formats seconds with adaptive precision ("68.51", "0.26", "12477.05").
+std::string format_seconds(double seconds);
+
+/// Formats a percentage like "99.22".
+std::string format_percent(double fraction_0_to_100);
+
+/// Joins string pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// Left/right pads `s` with spaces to `width` (no-op if already wider).
+std::string pad_right(const std::string& s, std::size_t width);
+std::string pad_left(const std::string& s, std::size_t width);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+}  // namespace dlbench::util

@@ -1,0 +1,42 @@
+#pragma once
+
+// ASCII table rendering used by the bench harness to print paper-style
+// tables (Tables I–IX) and figure data series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dlbench::util {
+
+/// A simple column-aligned ASCII table. Rows are added as string cells;
+/// numeric formatting is the caller's job (see format.hpp helpers).
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Optional caption printed above the table.
+  void set_title(std::string title);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Renders with box-drawing separators.
+  std::string to_string() const;
+
+  /// Renders as CSV (title omitted).
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace dlbench::util

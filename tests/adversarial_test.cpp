@@ -1,0 +1,308 @@
+// Adversarial attack tests: FGSM perturbation semantics, Jacobian
+// correctness vs numeric differentiation, JSMA behaviour, and sweep
+// bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "adversarial/attacks.hpp"
+#include "util/error.hpp"
+#include "data/synthetic.hpp"
+#include "frameworks/emulations.hpp"
+#include "frameworks/registry.hpp"
+#include "nn/layers.hpp"
+#include "tensor/ops.hpp"
+
+namespace dlbench::adversarial {
+namespace {
+
+using frameworks::DatasetId;
+using frameworks::FrameworkKind;
+using runtime::Device;
+using tensor::Shape;
+
+Context cpu_ctx() {
+  Context ctx;
+  ctx.device = Device::cpu();
+  ctx.training = false;
+  return ctx;
+}
+
+// A small trained model shared by the attack tests (trained once).
+struct TrainedFixture {
+  data::DatasetPair mnist;
+  nn::Sequential model;
+
+  TrainedFixture() {
+    data::MnistOptions d;
+    d.train_samples = 400;
+    d.test_samples = 100;
+    mnist = data::synthetic_mnist(d);
+    auto fw = frameworks::make_framework(FrameworkKind::kCaffe);
+    auto config = frameworks::default_training_config(FrameworkKind::kCaffe,
+                                                      DatasetId::kMnist);
+    auto spec = frameworks::default_network_spec(FrameworkKind::kCaffe,
+                                                 DatasetId::kMnist);
+    util::Rng rng(7);
+    model = fw->build_model(spec, Device::gpu(), rng);
+    frameworks::TrainOptions opts;
+    opts.scale.max_step_cap = 60;
+    (void)fw->train(model, mnist.train, config, Device::gpu(), opts);
+  }
+};
+
+TrainedFixture& fixture() {
+  static TrainedFixture fx;
+  return fx;
+}
+
+TEST(Fgsm, OneShotPerturbationIsBoundedByEpsilon) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  tensor::Tensor x = fx.mnist.test.sample(0);
+  FgsmOptions opt;
+  opt.epsilon = 0.02f;
+  opt.max_iterations = 1;
+  opt.clip = false;
+  AttackOutcome out = fgsm_attack(fx.model, x, fx.mnist.test.labels[0], opt,
+                                  ctx);
+  EXPECT_EQ(out.iterations, 1);
+  float max_abs = 0.f;
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    max_abs = std::max(max_abs,
+                       std::fabs(out.adversarial_example.at(i) - x.at(i)));
+  EXPECT_LE(max_abs, opt.epsilon + 1e-6f);
+  EXPECT_GT(max_abs, 0.f);
+}
+
+TEST(Fgsm, ClipKeepsPixelsInRange) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  tensor::Tensor x = fx.mnist.test.sample(1);
+  FgsmOptions opt;
+  opt.epsilon = 0.5f;
+  opt.max_iterations = 3;
+  AttackOutcome out = fgsm_attack(fx.model, x, fx.mnist.test.labels[1], opt,
+                                  ctx);
+  for (float v : out.adversarial_example.data()) {
+    EXPECT_GE(v, 0.f);
+    EXPECT_LE(v, 1.f);
+  }
+}
+
+TEST(Fgsm, IteratedAttackFlipsPrediction) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  FgsmOptions opt;
+  opt.epsilon = 0.05f;
+  opt.max_iterations = 60;
+  int successes = 0;
+  int attempts = 0;
+  for (std::int64_t i = 0; i < 10; ++i) {
+    tensor::Tensor x = fx.mnist.test.sample(i);
+    AttackOutcome out =
+        fgsm_attack(fx.model, x, fx.mnist.test.labels[static_cast<std::size_t>(i)], opt, ctx);
+    ++attempts;
+    if (out.success) {
+      ++successes;
+      EXPECT_NE(out.final_class, out.source_class);
+    }
+  }
+  EXPECT_GT(successes, attempts / 2) << "iterated FGSM should usually win";
+}
+
+TEST(Fgsm, RejectsBadArguments) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  tensor::Tensor x = fx.mnist.test.sample(0);
+  FgsmOptions opt;
+  opt.epsilon = 0.f;
+  EXPECT_THROW(fgsm_attack(fx.model, x, 0, opt, ctx), dlbench::Error);
+  opt.epsilon = 0.1f;
+  opt.max_iterations = 0;
+  EXPECT_THROW(fgsm_attack(fx.model, x, 0, opt, ctx), dlbench::Error);
+  tensor::Tensor batch(Shape({2, 1, 28, 28}));
+  opt.max_iterations = 1;
+  EXPECT_THROW(fgsm_attack(fx.model, batch, 0, opt, ctx), dlbench::Error);
+}
+
+TEST(Jacobian, MatchesNumericDifferentiation) {
+  // Tiny fc model so the full Jacobian is cheap to verify.
+  util::Rng rng(8);
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Flatten>());
+  model.add(std::make_unique<nn::Linear>(16, 10,
+                                         tensor::InitKind::kXavierUniform,
+                                         rng));
+  Context ctx = cpu_ctx();
+  util::Rng xr(9);
+  tensor::Tensor x = tensor::Tensor::randn(Shape({1, 1, 4, 4}), xr);
+
+  tensor::Tensor jac = logit_jacobian(model, x, 10, ctx);
+  ASSERT_EQ(jac.shape(), Shape({10, 16}));
+
+  const float eps = 1e-2f;
+  for (std::int64_t j = 0; j < 10; ++j) {
+    for (std::int64_t i = 0; i < 16; ++i) {
+      tensor::Tensor xp = x.clone(), xm = x.clone();
+      xp.data()[i] += eps;
+      xm.data()[i] -= eps;
+      const float fp = model.forward(xp, ctx).at(j);
+      const float fm = model.forward(xm, ctx).at(j);
+      const float numeric = (fp - fm) / (2 * eps);
+      ASSERT_NEAR(jac.at(j * 16 + i), numeric, 1e-3f)
+          << "class " << j << " input " << i;
+    }
+  }
+}
+
+TEST(Jsma, TargetedAttackIncreasesTargetLogit) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  tensor::Tensor x = fx.mnist.test.sample(2);
+  const std::int64_t source = fx.mnist.test.labels[2];
+  const std::int64_t target = (source + 3) % 10;
+
+  const float before = fx.model.forward(x, ctx).at(target);
+  JsmaOptions opt;
+  opt.theta = 0.6f;
+  opt.max_distortion = 0.08;
+  AttackOutcome out = jsma_attack(fx.model, x, target, opt, ctx);
+  const float after = fx.model.forward(out.adversarial_example, ctx).at(target);
+  EXPECT_GT(after, before);
+  EXPECT_GT(out.iterations, 0);
+  EXPECT_LE(out.distortion_l0, opt.max_distortion + 1e-6);
+  if (out.success) EXPECT_EQ(out.final_class, target);
+}
+
+TEST(Jsma, OnlyIncreasesPixelsAndRespectsClip) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  tensor::Tensor x = fx.mnist.test.sample(3);
+  JsmaOptions opt;
+  opt.theta = 1.0f;
+  opt.max_distortion = 0.05;
+  AttackOutcome out = jsma_attack(fx.model, x, 7, opt, ctx);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_GE(out.adversarial_example.at(i), x.at(i) - 1e-6f);
+    EXPECT_LE(out.adversarial_example.at(i), 1.f);
+  }
+}
+
+TEST(Jsma, AlreadyTargetClassIsTrivialSuccess) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  // Find a correctly classified sample and attack toward its own class.
+  for (std::int64_t i = 0; i < fx.mnist.test.size(); ++i) {
+    tensor::Tensor x = fx.mnist.test.sample(i);
+    Context ectx = ctx;
+    auto pred = fx.model.predict(x, ectx);
+    if (pred[0] != fx.mnist.test.labels[static_cast<std::size_t>(i)]) continue;
+    AttackOutcome out = jsma_attack(fx.model, x, pred[0], JsmaOptions{}, ctx);
+    EXPECT_TRUE(out.success);
+    EXPECT_EQ(out.iterations, 0);
+    EXPECT_DOUBLE_EQ(out.distortion_l0, 0.0);
+    return;
+  }
+  GTEST_SKIP() << "model classified nothing correctly";
+}
+
+TEST(Sweeps, FgsmSweepBookkeeping) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  FgsmOptions opt;
+  opt.epsilon = 0.05f;
+  opt.max_iterations = 25;
+  UntargetedSweep sweep =
+      fgsm_sweep(fx.model, fx.mnist.test, opt, ctx, /*max_per_class=*/3);
+  for (std::size_t c = 0; c < 10; ++c) {
+    EXPECT_LE(sweep.attempts[c], 3);
+    EXPECT_GE(sweep.success_rate[c], 0.0);
+    EXPECT_LE(sweep.success_rate[c], 1.0);
+    // Destinations only counted for successes, never the source class.
+    EXPECT_EQ(sweep.destination_counts[c][c], 0);
+    std::int64_t dest_total = 0;
+    for (std::size_t t = 0; t < 10; ++t) dest_total += sweep.destination_counts[c][t];
+    EXPECT_LE(dest_total, sweep.attempts[c]);
+  }
+  EXPECT_GT(sweep.total_time_s, 0.0);
+}
+
+TEST(Sweeps, JsmaSweepBookkeeping) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  JsmaOptions opt;
+  opt.theta = 1.0f;
+  opt.max_distortion = 0.03;  // keep the test fast
+  TargetedSweep sweep = jsma_sweep(fx.model, fx.mnist.test, /*source=*/1, opt,
+                                   ctx, /*samples_per_target=*/2);
+  EXPECT_EQ(sweep.attempts[1], 0);  // no self-target
+  EXPECT_GT(sweep.total_attacks, 0);
+  EXPECT_GT(sweep.mean_craft_time_s, 0.0);
+  for (std::size_t t = 0; t < 10; ++t) {
+    EXPECT_GE(sweep.success_rate[t], 0.0);
+    EXPECT_LE(sweep.success_rate[t], 1.0);
+  }
+}
+
+
+TEST(NoiseBaseline, StaysWithinEpsilonAndClips) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  tensor::Tensor x = fx.mnist.test.sample(4);
+  NoiseOptions opt;
+  opt.epsilon = 0.05f;
+  opt.max_trials = 5;
+  AttackOutcome out =
+      random_noise_attack(fx.model, x, fx.mnist.test.labels[4], opt, ctx);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float v = out.adversarial_example.at(i);
+    EXPECT_GE(v, 0.f);
+    EXPECT_LE(v, 1.f);
+    EXPECT_LE(std::fabs(v - std::clamp(x.at(i), 0.f, 1.f)),
+              opt.epsilon + 1e-5f);
+  }
+  EXPECT_LE(out.iterations, opt.max_trials);
+}
+
+TEST(NoiseBaseline, GradientAttackBeatsRandomAtEqualBudget) {
+  // The paper contrasts gradient-crafted examples with random
+  // (untargeted) perturbations; FGSM must win at the same epsilon.
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  int fgsm_wins = 0, noise_wins = 0;
+  FgsmOptions fgsm;
+  fgsm.epsilon = 0.01f;
+  fgsm.max_iterations = 10;
+  NoiseOptions noise;
+  noise.epsilon = 0.10f;  // even with 10x the budget...
+  noise.max_trials = 10;
+  for (std::int64_t i = 0; i < 12; ++i) {
+    tensor::Tensor x = fx.mnist.test.sample(i);
+    const std::int64_t label =
+        fx.mnist.test.labels[static_cast<std::size_t>(i)];
+    if (fgsm_attack(fx.model, x, label, fgsm, ctx).success) ++fgsm_wins;
+    if (random_noise_attack(fx.model, x, label, noise, ctx).success)
+      ++noise_wins;
+  }
+  EXPECT_GE(fgsm_wins, noise_wins);
+}
+
+TEST(NoiseBaseline, RejectsBadArguments) {
+  auto& fx = fixture();
+  Context ctx = cpu_ctx();
+  tensor::Tensor x = fx.mnist.test.sample(0);
+  NoiseOptions opt;
+  opt.epsilon = 0.f;
+  EXPECT_THROW(random_noise_attack(fx.model, x, 0, opt, ctx),
+               dlbench::Error);
+  opt.epsilon = 0.1f;
+  opt.max_trials = 0;
+  EXPECT_THROW(random_noise_attack(fx.model, x, 0, opt, ctx),
+               dlbench::Error);
+}
+
+}  // namespace
+}  // namespace dlbench::adversarial

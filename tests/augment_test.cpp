@@ -1,0 +1,149 @@
+// Data augmentation: flip/crop/brightness semantics and determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/augment.hpp"
+#include "data/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::data {
+namespace {
+
+double tensor_sum(const Batch& batch) {
+  double acc = 0;
+  for (float v : batch.images.data()) acc += v;
+  return acc;
+}
+
+Batch make_batch(std::int64_t n = 4) {
+  MnistOptions opt;
+  opt.train_samples = n;
+  opt.test_samples = 1;
+  DatasetPair pair = synthetic_mnist(opt);
+  DataLoader loader(pair.train, n, false, util::Rng(1));
+  Batch batch;
+  loader.next(batch);
+  return batch;
+}
+
+TEST(Augment, FlipProbabilityOneMirrorsEveryRow) {
+  Batch batch = make_batch();
+  Batch original;
+  original.images = batch.images.clone();
+  original.labels = batch.labels;
+  util::Rng rng(2);
+  random_horizontal_flip(batch, 1.0, rng);
+  const std::int64_t w = 28;
+  for (std::int64_t i = 0; i < batch.images.dim(0); ++i) {
+    for (std::int64_t y = 0; y < 28; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        ASSERT_EQ(batch.images.at((i * 28 + y) * w + x),
+                  original.images.at((i * 28 + y) * w + (w - 1 - x)));
+      }
+    }
+  }
+}
+
+TEST(Augment, FlipProbabilityZeroIsIdentity) {
+  Batch batch = make_batch();
+  Batch original;
+  original.images = batch.images.clone();
+  util::Rng rng(3);
+  random_horizontal_flip(batch, 0.0, rng);
+  for (std::int64_t i = 0; i < batch.images.numel(); ++i)
+    ASSERT_EQ(batch.images.at(i), original.images.at(i));
+}
+
+TEST(Augment, DoubleFlipIsIdentity) {
+  Batch batch = make_batch();
+  Batch original;
+  original.images = batch.images.clone();
+  util::Rng rng(4);
+  random_horizontal_flip(batch, 1.0, rng);
+  random_horizontal_flip(batch, 1.0, rng);
+  for (std::int64_t i = 0; i < batch.images.numel(); ++i)
+    ASSERT_EQ(batch.images.at(i), original.images.at(i));
+}
+
+TEST(Augment, CropPreservesShapeAndMassApproximately) {
+  Batch batch = make_batch();
+  const auto shape_before = batch.images.shape();
+  const double sum_before = tensor_sum(batch);
+  util::Rng rng(5);
+  random_crop(batch, 2, rng);
+  EXPECT_EQ(batch.images.shape(), shape_before);
+  // A 2-pixel crop of a centered 20x20 glyph keeps most stroke mass.
+  EXPECT_GT(tensor_sum(batch), sum_before * 0.5);
+}
+
+TEST(Augment, CropZeroPadIsIdentity) {
+  Batch batch = make_batch();
+  Batch original;
+  original.images = batch.images.clone();
+  util::Rng rng(6);
+  random_crop(batch, 0, rng);
+  for (std::int64_t i = 0; i < batch.images.numel(); ++i)
+    ASSERT_EQ(batch.images.at(i), original.images.at(i));
+}
+
+TEST(Augment, BrightnessScalesWithinBounds) {
+  Batch batch = make_batch();
+  Batch original;
+  original.images = batch.images.clone();
+  util::Rng rng(7);
+  random_brightness(batch, 0.3, rng);
+  const std::int64_t sample = batch.images.numel() / batch.images.dim(0);
+  for (std::int64_t i = 0; i < batch.images.dim(0); ++i) {
+    // Per-sample uniform scale: ratio is constant across the sample.
+    float ratio = 0.f;
+    for (std::int64_t k = 0; k < sample; ++k) {
+      const float orig = original.images.at(i * sample + k);
+      if (orig == 0.f) continue;
+      const float r = batch.images.at(i * sample + k) / orig;
+      if (ratio == 0.f) ratio = r;
+      ASSERT_NEAR(r, ratio, 1e-4f);
+    }
+    EXPECT_GE(ratio, 0.7f - 1e-4f);
+    EXPECT_LE(ratio, 1.3f + 1e-4f);
+  }
+}
+
+TEST(Augment, PolicyComposesAndIsDeterministic) {
+  AugmentPolicy policy = AugmentPolicy::tf_cifar();
+  EXPECT_TRUE(policy.enabled());
+
+  Batch a = make_batch();
+  Batch b;
+  b.images = a.images.clone();
+  b.labels = a.labels;
+  util::Rng r1(8), r2(8);
+  policy.apply(a, r1);
+  policy.apply(b, r2);
+  for (std::int64_t i = 0; i < a.images.numel(); ++i)
+    ASSERT_EQ(a.images.at(i), b.images.at(i));
+}
+
+TEST(Augment, DisabledPolicyIsIdentity) {
+  AugmentPolicy policy;
+  EXPECT_FALSE(policy.enabled());
+  Batch batch = make_batch();
+  Batch original;
+  original.images = batch.images.clone();
+  util::Rng rng(9);
+  policy.apply(batch, rng);
+  for (std::int64_t i = 0; i < batch.images.numel(); ++i)
+    ASSERT_EQ(batch.images.at(i), original.images.at(i));
+}
+
+TEST(Augment, InvalidArgumentsThrow) {
+  Batch batch = make_batch();
+  util::Rng rng(10);
+  EXPECT_THROW(random_horizontal_flip(batch, 1.5, rng), dlbench::Error);
+  EXPECT_THROW(random_crop(batch, -1, rng), dlbench::Error);
+  EXPECT_THROW(random_brightness(batch, 1.5, rng), dlbench::Error);
+}
+
+}  // namespace
+}  // namespace dlbench::data

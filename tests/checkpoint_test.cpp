@@ -1,0 +1,110 @@
+// Checkpoint save/load: round trips, mismatch detection, corruption.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "frameworks/registry.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/network_spec.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::nn {
+namespace {
+
+using frameworks::DatasetId;
+using frameworks::FrameworkKind;
+using tensor::Tensor;
+
+Sequential make_model(std::uint64_t seed) {
+  NetworkSpec spec = frameworks::default_network_spec(FrameworkKind::kCaffe,
+                                                      DatasetId::kMnist);
+  util::Rng rng(seed);
+  return build_model(spec, rng);
+}
+
+TEST(Checkpoint, RoundTripRestoresEveryParameter) {
+  Sequential a = make_model(1);
+  Sequential b = make_model(2);  // different init
+
+  std::stringstream buffer;
+  save_checkpoint(a, buffer);
+  load_checkpoint(b, buffer);
+
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->shape(), pb[i]->shape());
+    for (std::int64_t k = 0; k < pa[i]->numel(); ++k)
+      ASSERT_EQ(pa[i]->at(k), pb[i]->at(k)) << "tensor " << i << " at " << k;
+  }
+}
+
+TEST(Checkpoint, RestoredModelPredictsIdentically) {
+  Sequential a = make_model(3);
+  Sequential b = make_model(4);
+  std::stringstream buffer;
+  save_checkpoint(a, buffer);
+  load_checkpoint(b, buffer);
+
+  Context ctx;
+  ctx.device = runtime::Device::cpu();
+  util::Rng xr(5);
+  Tensor x = Tensor::randn(tensor::Shape({2, 1, 28, 28}), xr, 0.5f, 0.2f);
+  Tensor ya = a.forward(x, ctx);
+  Tensor yb = b.forward(x, ctx);
+  for (std::int64_t i = 0; i < ya.numel(); ++i)
+    ASSERT_EQ(ya.at(i), yb.at(i));
+}
+
+TEST(Checkpoint, ArchitectureMismatchThrows) {
+  Sequential a = make_model(6);
+  // A different architecture (TF MNIST net).
+  NetworkSpec other = frameworks::default_network_spec(
+      FrameworkKind::kTensorFlow, DatasetId::kMnist);
+  util::Rng rng(7);
+  Sequential b = build_model(other, rng);
+
+  std::stringstream buffer;
+  save_checkpoint(a, buffer);
+  EXPECT_THROW(load_checkpoint(b, buffer), dlbench::Error);
+}
+
+TEST(Checkpoint, GarbageStreamThrows) {
+  Sequential a = make_model(8);
+  std::stringstream buffer("this is not a checkpoint at all............");
+  EXPECT_THROW(load_checkpoint(a, buffer), dlbench::Error);
+}
+
+TEST(Checkpoint, TruncatedStreamThrows) {
+  Sequential a = make_model(9);
+  std::stringstream buffer;
+  save_checkpoint(a, buffer);
+  std::string data = buffer.str();
+  std::stringstream truncated(data.substr(0, data.size() / 2));
+  Sequential b = make_model(10);
+  EXPECT_THROW(load_checkpoint(b, truncated), dlbench::Error);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  Sequential a = make_model(11);
+  Sequential b = make_model(12);
+  const std::string path = "/tmp/dlbench_checkpoint_test.bin";
+  save_checkpoint(a, path);
+  load_checkpoint(b, path);
+  auto pa = a.params();
+  auto pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    ASSERT_EQ(pa[i]->at(0), pb[i]->at(0));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Sequential a = make_model(13);
+  EXPECT_THROW(load_checkpoint(a, "/nonexistent/dir/ckpt.bin"),
+               dlbench::Error);
+}
+
+}  // namespace
+}  // namespace dlbench::nn

@@ -1,0 +1,263 @@
+// Convolution and pooling kernels: im2col/col2im structure, forward
+// against a naive reference, backward against numeric gradients, and
+// the ceil/floor pooling arithmetic the paper's nets depend on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "runtime/device.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
+#include "util/rng.hpp"
+
+namespace dlbench::tensor {
+namespace {
+
+using runtime::Device;
+
+// Naive direct convolution used as the reference implementation.
+Tensor naive_conv(const Tensor& x, const Tensor& w, const Tensor& b,
+                  const ConvGeom& g) {
+  const std::int64_t n = x.dim(0), oh = g.out_h(), ow = g.out_w();
+  Tensor y({n, g.out_c, oh, ow});
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t oc = 0; oc < g.out_c; ++oc)
+      for (std::int64_t y0 = 0; y0 < oh; ++y0)
+        for (std::int64_t x0 = 0; x0 < ow; ++x0) {
+          double acc = b.at(oc);
+          for (std::int64_t ic = 0; ic < g.in_c; ++ic)
+            for (std::int64_t ky = 0; ky < g.kernel; ++ky)
+              for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+                const std::int64_t iy = y0 * g.stride + ky - g.pad;
+                const std::int64_t ix = x0 * g.stride + kx - g.pad;
+                if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w)
+                  continue;
+                acc += static_cast<double>(
+                           w.at(oc * g.patch_size() +
+                                (ic * g.kernel + ky) * g.kernel + kx)) *
+                       x.at(((i * g.in_c + ic) * g.in_h + iy) * g.in_w + ix);
+              }
+          y.data()[((i * g.out_c + oc) * oh + y0) * ow + x0] =
+              static_cast<float>(acc);
+        }
+  return y;
+}
+
+TEST(ConvGeom, OutputArithmetic) {
+  ConvGeom g{/*in_c=*/1, /*in_h=*/28, /*in_w=*/28, /*out_c=*/20,
+             /*kernel=*/5, /*stride=*/1, /*pad=*/0};
+  EXPECT_EQ(g.out_h(), 24);
+  EXPECT_EQ(g.patch_size(), 25);
+  g.pad = 2;
+  EXPECT_EQ(g.out_h(), 28);  // SAME padding
+}
+
+TEST(Im2Col, RoundTripThroughCol2ImIsOverlapCount) {
+  // col2im(im2col(x)) multiplies each pixel by the number of windows
+  // covering it; with kernel 1 that count is 1 → exact roundtrip.
+  ConvGeom g{2, 4, 4, 1, /*kernel=*/1, /*stride=*/1, /*pad=*/0};
+  util::Rng rng(1);
+  Tensor x = Tensor::randn(Shape({1, 2, 4, 4}), rng);
+  std::vector<float> cols(static_cast<std::size_t>(g.patch_size() * 16));
+  im2col(x.raw(), g, cols.data());
+  Tensor back(Shape({1, 2, 4, 4}));
+  col2im(cols.data(), g, back.raw());
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(back.at(i), x.at(i));
+}
+
+TEST(Im2Col, ZeroPadsOutOfBounds) {
+  ConvGeom g{1, 2, 2, 1, /*kernel=*/3, /*stride=*/1, /*pad=*/1};
+  Tensor x(Shape({1, 1, 2, 2}), 1.f);
+  std::vector<float> cols(static_cast<std::size_t>(g.patch_size()) *
+                          static_cast<std::size_t>(g.out_h() * g.out_w()));
+  im2col(x.raw(), g, cols.data());
+  // Top-left output's top-left kernel tap reads the (-1,-1) pad → 0.
+  EXPECT_EQ(cols[0], 0.f);
+}
+
+using ConvParam = std::tuple<int, int, int, int, int, bool>;  // ic,oc,hw,k,pad,par
+
+class ConvShapes : public ::testing::TestWithParam<ConvParam> {
+ protected:
+  Device dev() const {
+    return std::get<5>(GetParam()) ? Device::parallel(4) : Device::cpu();
+  }
+};
+
+TEST_P(ConvShapes, ForwardMatchesNaive) {
+  auto [ic, oc, hw, k, pad, par] = GetParam();
+  (void)par;
+  ConvGeom g{ic, hw, hw, oc, k, 1, pad};
+  if (g.out_h() <= 0) GTEST_SKIP();
+  util::Rng rng(static_cast<std::uint64_t>(ic * 100 + oc * 10 + hw));
+  Tensor x = Tensor::randn(Shape({3, ic, hw, hw}), rng);
+  Tensor w = Tensor::randn(Shape({oc, g.patch_size()}), rng, 0.f, 0.5f);
+  Tensor b = Tensor::randn(Shape({oc}), rng);
+  Tensor got = conv2d_forward(x, w, b, g, dev());
+  Tensor want = naive_conv(x, w, b, g);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    ASSERT_NEAR(got.at(i), want.at(i), 1e-3f) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvShapes,
+    ::testing::Combine(::testing::Values(1, 3), ::testing::Values(2, 6),
+                       ::testing::Values(6, 9), ::testing::Values(3, 5),
+                       ::testing::Values(0, 2), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ConvParam>& info) {
+      return "ic" + std::to_string(std::get<0>(info.param)) + "oc" +
+             std::to_string(std::get<1>(info.param)) + "hw" +
+             std::to_string(std::get<2>(info.param)) + "k" +
+             std::to_string(std::get<3>(info.param)) + "p" +
+             std::to_string(std::get<4>(info.param)) +
+             (std::get<5>(info.param) ? "Par" : "Ser");
+    });
+
+TEST(ConvBackward, GradientsMatchNumeric) {
+  ConvGeom g{2, 6, 6, 3, /*kernel=*/3, /*stride=*/1, /*pad=*/1};
+  util::Rng rng(11);
+  Tensor x = Tensor::randn(Shape({2, 2, 6, 6}), rng);
+  Tensor w = Tensor::randn(Shape({3, g.patch_size()}), rng, 0.f, 0.5f);
+  Tensor b = Tensor::randn(Shape({3}), rng);
+  const Device dev = Device::cpu();
+
+  // Loss = sum(conv(x)); dL/dy = ones.
+  Tensor y = conv2d_forward(x, w, b, g, dev);
+  Tensor dy(y.shape(), 1.f);
+  ConvGrads grads = conv2d_backward(x, w, dy, g, dev);
+
+  const float eps = 1e-2f;
+  auto loss_at = [&](const Tensor& xx, const Tensor& ww, const Tensor& bb) {
+    return sum(conv2d_forward(xx, ww, bb, g, dev));
+  };
+  // Spot-check a handful of coordinates of each gradient.
+  for (std::int64_t i : {0L, 7L, 31L, x.numel() - 1}) {
+    Tensor xp = x.clone(), xm = x.clone();
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double numeric = (loss_at(xp, w, b) - loss_at(xm, w, b)) / (2 * eps);
+    EXPECT_NEAR(grads.dx.at(i), numeric, 0.05) << "dx " << i;
+  }
+  for (std::int64_t i : {0L, 5L, w.numel() - 1}) {
+    Tensor wp = w.clone(), wm = w.clone();
+    wp.data()[i] += eps;
+    wm.data()[i] -= eps;
+    const double numeric = (loss_at(x, wp, b) - loss_at(x, wm, b)) / (2 * eps);
+    EXPECT_NEAR(grads.dweight.at(i), numeric, 0.05) << "dw " << i;
+  }
+  for (std::int64_t i : {0L, 2L}) {
+    Tensor bp = b.clone(), bm = b.clone();
+    bp.data()[i] += eps;
+    bm.data()[i] -= eps;
+    const double numeric = (loss_at(x, w, bp) - loss_at(x, w, bm)) / (2 * eps);
+    EXPECT_NEAR(grads.dbias.at(i), numeric, 0.05) << "db " << i;
+  }
+}
+
+TEST(ConvBackward, SerialAndParallelAgree) {
+  ConvGeom g{3, 8, 8, 4, /*kernel=*/3, /*stride=*/1, /*pad=*/1};
+  util::Rng rng(12);
+  Tensor x = Tensor::randn(Shape({5, 3, 8, 8}), rng);
+  Tensor w = Tensor::randn(Shape({4, g.patch_size()}), rng);
+  Tensor dy = Tensor::randn(Shape({5, 4, 8, 8}), rng);
+  ConvGrads a = conv2d_backward(x, w, dy, g, Device::cpu());
+  ConvGrads b = conv2d_backward(x, w, dy, g, Device::parallel(4));
+  for (std::int64_t i = 0; i < a.dx.numel(); ++i)
+    ASSERT_NEAR(a.dx.at(i), b.dx.at(i), 1e-4f);
+  for (std::int64_t i = 0; i < a.dweight.numel(); ++i)
+    ASSERT_NEAR(a.dweight.at(i), b.dweight.at(i), 1e-3f);
+}
+
+// ---- pooling ----
+
+TEST(Pool, GeometryCeilVsFloor) {
+  PoolGeom floor_g{1, 24, 24, 3, 2, /*ceil=*/false};
+  PoolGeom ceil_g{1, 24, 24, 3, 2, /*ceil=*/true};
+  EXPECT_EQ(floor_g.out_h(), 11);  // Torch MNIST: 24 -> 11
+  EXPECT_EQ(ceil_g.out_h(), 12);   // Caffe rounding
+  PoolGeom tf{64, 32, 32, 3, 2, false};
+  EXPECT_EQ(tf.out_h(), 15);  // TF CIFAR: 32 -> 15
+}
+
+TEST(Pool, MaxForwardPicksMaxAndArgmax) {
+  PoolGeom g{1, 4, 4, 2, 2, false};
+  Tensor x(Shape({1, 1, 4, 4}),
+           std::vector<float>{1, 2, 5, 4,    //
+                              3, 0, 1, 1,    //
+                              9, 1, 0, 0,    //
+                              1, 1, 0, 7});
+  std::vector<std::int32_t> argmax;
+  Tensor y = maxpool_forward(x, g, argmax, Device::cpu());
+  EXPECT_EQ(y.at(0), 3.f);
+  EXPECT_EQ(y.at(1), 5.f);
+  EXPECT_EQ(y.at(2), 9.f);
+  EXPECT_EQ(y.at(3), 7.f);
+  EXPECT_EQ(argmax[2], 8);  // flat offset of the 9
+}
+
+TEST(Pool, MaxBackwardRoutesToArgmax) {
+  PoolGeom g{1, 4, 4, 2, 2, false};
+  util::Rng rng(13);
+  Tensor x = Tensor::randn(Shape({1, 1, 4, 4}), rng);
+  std::vector<std::int32_t> argmax;
+  (void)maxpool_forward(x, g, argmax, Device::cpu());
+  Tensor dy(Shape({1, 1, 2, 2}), std::vector<float>{1, 2, 3, 4});
+  Tensor dx = maxpool_backward(dy, g, argmax, Device::cpu());
+  EXPECT_DOUBLE_EQ(sum(dx), 10.0);  // gradient mass preserved
+  EXPECT_EQ(dx.at(argmax[0]), 1.f);
+}
+
+TEST(Pool, AvgForwardAveragesWindow) {
+  PoolGeom g{1, 2, 2, 2, 2, false};
+  Tensor x(Shape({1, 1, 2, 2}), std::vector<float>{1, 2, 3, 6});
+  Tensor y = avgpool_forward(x, g, Device::cpu());
+  EXPECT_FLOAT_EQ(y.at(0), 3.f);
+}
+
+TEST(Pool, AvgPartialWindowUsesActualCount) {
+  // ceil mode: last window covers a 1-wide strip; mean over 2 cells.
+  PoolGeom g{1, 3, 3, 2, 2, /*ceil=*/true};
+  Tensor x(Shape({1, 1, 3, 3}), 6.f);
+  Tensor y = avgpool_forward(x, g, Device::cpu());
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y.at(i), 6.f);
+}
+
+TEST(Pool, AvgBackwardMatchesNumeric) {
+  PoolGeom g{2, 5, 5, 3, 2, /*ceil=*/true};
+  util::Rng rng(14);
+  Tensor x = Tensor::randn(Shape({1, 2, 5, 5}), rng);
+  Tensor y = avgpool_forward(x, g, Device::cpu());
+  Tensor dy(y.shape(), 1.f);
+  Tensor dx = avgpool_backward(dy, g, Device::cpu());
+  const float eps = 1e-2f;
+  for (std::int64_t i : {0L, 12L, x.numel() - 1}) {
+    Tensor xp = x.clone(), xm = x.clone();
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double numeric = (sum(avgpool_forward(xp, g, Device::cpu())) -
+                            sum(avgpool_forward(xm, g, Device::cpu()))) /
+                           (2 * eps);
+    EXPECT_NEAR(dx.at(i), numeric, 0.05);
+  }
+}
+
+TEST(Pool, ParallelMatchesSerial) {
+  PoolGeom g{4, 9, 9, 3, 2, true};
+  util::Rng rng(15);
+  Tensor x = Tensor::randn(Shape({6, 4, 9, 9}), rng);
+  std::vector<std::int32_t> am1, am2;
+  Tensor a = maxpool_forward(x, g, am1, Device::cpu());
+  Tensor b = maxpool_forward(x, g, am2, Device::parallel(4));
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a.at(i), b.at(i));
+  EXPECT_EQ(am1, am2);
+}
+
+}  // namespace
+}  // namespace dlbench::tensor

@@ -1,0 +1,139 @@
+// Preprocessing pipeline tests: each setting's input transform and the
+// fit-on-train/apply-to-both contract.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/preprocess.hpp"
+#include "data/synthetic.hpp"
+#include "util/entropy.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::data {
+namespace {
+
+DatasetPair small_cifar() {
+  CifarOptions opt;
+  opt.train_samples = 60;
+  opt.test_samples = 20;
+  return synthetic_cifar10(opt);
+}
+
+TEST(Preprocess, CloneIsDeep) {
+  DatasetPair pair = small_cifar();
+  Dataset copy = clone_dataset(pair.train);
+  copy.images.data()[0] = -123.f;
+  EXPECT_NE(pair.train.images.at(0), -123.f);
+  EXPECT_EQ(copy.labels, pair.train.labels);
+}
+
+TEST(Preprocess, PerImageStandardizeZeroMeanUnitVar) {
+  DatasetPair pair = small_cifar();
+  per_image_standardize(pair.train);
+  const std::int64_t sz = 3 * 32 * 32;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const float* img = pair.train.images.raw() + i * sz;
+    double mean = 0;
+    for (std::int64_t k = 0; k < sz; ++k) mean += img[k];
+    mean /= sz;
+    double var = 0;
+    for (std::int64_t k = 0; k < sz; ++k)
+      var += (img[k] - mean) * (img[k] - mean);
+    var /= sz;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "image " << i;
+    EXPECT_NEAR(std::sqrt(var), 1.0, 1e-2) << "image " << i;
+  }
+}
+
+TEST(Preprocess, StandardizeHandlesConstantImage) {
+  Dataset d;
+  d.name = "flat";
+  d.num_classes = 2;
+  d.images = tensor::Tensor({1, 1, 4, 4}, 0.5f);
+  d.labels = {0};
+  per_image_standardize(d);
+  // std floored at 1/sqrt(D): result is finite zeros.
+  for (float v : d.images.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_EQ(v, 0.f);
+  }
+}
+
+TEST(Preprocess, MeanImageAndSubtract) {
+  DatasetPair pair = small_cifar();
+  tensor::Tensor mean = mean_image(pair.train);
+  EXPECT_EQ(mean.shape(), tensor::Shape({3, 32, 32}));
+  Dataset copy = clone_dataset(pair.train);
+  subtract_mean_image(copy, mean);
+  // After subtraction, the dataset's mean image is ~0.
+  tensor::Tensor residual = mean_image(copy);
+  for (float v : residual.data()) EXPECT_NEAR(v, 0.f, 1e-4f);
+}
+
+TEST(Preprocess, ChannelStatsAndNormalize) {
+  DatasetPair pair = small_cifar();
+  ChannelStats stats = channel_stats(pair.train);
+  ASSERT_EQ(stats.mean.size(), 3u);
+  normalize_channels(pair.train, stats);
+  ChannelStats after = channel_stats(pair.train);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(after.mean[c], 0.f, 1e-3f);
+    EXPECT_NEAR(after.stddev[c], 1.f, 1e-2f);
+  }
+}
+
+TEST(Preprocess, NormalizeChannelsChecksArity) {
+  DatasetPair pair = small_cifar();
+  ChannelStats bad;
+  bad.mean = {0.f};
+  bad.stddev = {1.f};
+  EXPECT_THROW(normalize_channels(pair.train, bad), dlbench::Error);
+}
+
+TEST(Preprocess, ApplyFitsOnTrainAppliesToBoth) {
+  DatasetPair pair = small_cifar();
+  Dataset train = clone_dataset(pair.train);
+  Dataset test = clone_dataset(pair.test);
+  apply_preprocessing(Preprocessing::kGlobalChannelNormalize, train, test);
+  // Test was transformed with *train's* statistics: applying train's
+  // stats to the raw test set reproduces it exactly.
+  ChannelStats stats = channel_stats(pair.train);
+  Dataset expected = clone_dataset(pair.test);
+  normalize_channels(expected, stats);
+  for (std::int64_t i = 0; i < expected.images.numel(); ++i)
+    ASSERT_FLOAT_EQ(test.images.at(i), expected.images.at(i));
+}
+
+TEST(Preprocess, ScaleOnlyIsIdentity) {
+  DatasetPair pair = small_cifar();
+  Dataset train = clone_dataset(pair.train);
+  Dataset test = clone_dataset(pair.test);
+  apply_preprocessing(Preprocessing::kScaleOnly, train, test);
+  for (std::int64_t i = 0; i < train.images.numel(); ++i)
+    ASSERT_EQ(train.images.at(i), pair.train.images.at(i));
+}
+
+TEST(Preprocess, MeanSubtractCentersTestWithTrainMean) {
+  DatasetPair pair = small_cifar();
+  Dataset train = clone_dataset(pair.train);
+  Dataset test = clone_dataset(pair.test);
+  apply_preprocessing(Preprocessing::kMeanSubtract, train, test);
+  // Train is exactly centered; test only approximately (train's mean).
+  tensor::Tensor train_mean = mean_image(train);
+  for (float v : train_mean.data()) EXPECT_NEAR(v, 0.f, 1e-4f);
+  const double test_mean = util::mean(test.images.data());
+  EXPECT_LT(std::fabs(test_mean), 0.1);
+}
+
+TEST(Preprocess, NamesAreStable) {
+  EXPECT_STREQ(to_string(Preprocessing::kScaleOnly), "scale-only");
+  EXPECT_STREQ(to_string(Preprocessing::kPerImageStandardize),
+               "per-image-standardize");
+  EXPECT_STREQ(to_string(Preprocessing::kMeanSubtract), "mean-subtract");
+  EXPECT_STREQ(to_string(Preprocessing::kGlobalChannelNormalize),
+               "channel-normalize");
+}
+
+}  // namespace
+}  // namespace dlbench::data

@@ -1,0 +1,88 @@
+// Reporting-layer tests: table rendering details, summaries, CSV.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "util/table.hpp"
+
+namespace dlbench::core {
+namespace {
+
+RunRecord sample_record() {
+  RunRecord r;
+  r.framework = "Caffe";
+  r.setting = "Caffe MNIST";
+  r.dataset = "MNIST/train";
+  r.device = "GPU";
+  r.train.train_time_s = 97.02;
+  r.train.steps = 10000;
+  r.train.epochs_run = 10.67;
+  r.train.final_loss = 0.05;
+  r.train.converged = true;
+  r.eval.test_time_s = 0.55;
+  r.eval.accuracy_pct = 99.13;
+  r.eval.correct = 9913;
+  r.eval.total = 10000;
+  return r;
+}
+
+TEST(Report, SummaryContainsEveryKeyMetric) {
+  const std::string s = summarize(sample_record());
+  EXPECT_NE(s.find("Caffe"), std::string::npos);
+  EXPECT_NE(s.find("97.02"), std::string::npos);
+  EXPECT_NE(s.find("0.550"), std::string::npos);
+  EXPECT_NE(s.find("99.13"), std::string::npos);
+  EXPECT_NE(s.find("10000 steps"), std::string::npos);
+  EXPECT_EQ(s.find("DID NOT CONVERGE"), std::string::npos);
+}
+
+TEST(Report, SummaryFlagsNonConvergence) {
+  RunRecord r = sample_record();
+  r.train.converged = false;
+  EXPECT_NE(summarize(r).find("DID NOT CONVERGE"), std::string::npos);
+}
+
+TEST(Report, ResultsTableMarksDivergedRuns) {
+  RunRecord good = sample_record();
+  RunRecord bad = sample_record();
+  bad.train.converged = false;
+  util::Table t = results_table("x", {good, bad});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| yes"), std::string::npos);
+  EXPECT_NE(s.find("| NO"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableFormatsUnits) {
+  util::Table t =
+      comparison_table("t", {{"train time", 68.51, 52.98, "s"}});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("68.51"), std::string::npos);
+  EXPECT_NE(s.find("52.98"), std::string::npos);
+  EXPECT_NE(s.find("| s"), std::string::npos);
+}
+
+TEST(Report, CsvRoundTripsThroughTable) {
+  RunRecord r = sample_record();
+  util::Table t = results_table("csv", {r});
+  const std::string csv = t.to_csv();
+  // Header row + one data row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  EXPECT_NE(csv.find("Caffe,Caffe MNIST"), std::string::npos);
+}
+
+TEST(Report, BannerMentionsWorkloadProfile) {
+  HarnessOptions opt;
+  opt.mnist_train = 1234;
+  std::stringstream captured;
+  auto* old = std::cout.rdbuf(captured.rdbuf());
+  print_banner("Fig X", "description here", opt);
+  std::cout.rdbuf(old);
+  EXPECT_NE(captured.str().find("Fig X"), std::string::npos);
+  EXPECT_NE(captured.str().find("1234"), std::string::npos);
+  EXPECT_NE(captured.str().find("description here"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dlbench::core

@@ -1,0 +1,163 @@
+// Unit tests for dlb_runtime: thread pool, device model, scaling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/device.hpp"
+#include "runtime/scale.hpp"
+#include "runtime/stopwatch.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::runtime {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> hits(10, 0);
+  pool.parallel_for(10, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RangesPartitionCompletely) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_ranges(997, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 997u);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_ranges(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw dlbench::Error("boom");
+                                 }),
+               dlbench::Error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw dlbench::Error("x"); }),
+      dlbench::Error);
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ManySmallDispatchesAreStable) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(16, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 16);
+  }
+}
+
+TEST(Device, CpuIsSerial) {
+  Device cpu = Device::cpu();
+  EXPECT_EQ(cpu.kind(), Device::Kind::kCpu);
+  EXPECT_FALSE(cpu.is_parallel());
+  EXPECT_EQ(cpu.workers(), 1u);
+  EXPECT_EQ(cpu.name(), "CPU");
+}
+
+TEST(Device, GpuIsParallel) {
+  Device gpu = Device::gpu();
+  EXPECT_EQ(gpu.kind(), Device::Kind::kGpu);
+  EXPECT_TRUE(gpu.is_parallel());
+  EXPECT_GE(gpu.workers(), 2u);
+  EXPECT_EQ(gpu.name(), "GPU");
+}
+
+TEST(Device, ParallelWithOneWorkerDegradesToCpu) {
+  Device dev = Device::parallel(1);
+  EXPECT_FALSE(dev.is_parallel());
+}
+
+TEST(Device, ParallelForCoversRangeOnBothKinds) {
+  for (const Device& dev : {Device::cpu(), Device::parallel(3)}) {
+    std::vector<std::atomic<int>> hits(257);
+    dev.parallel_for(257, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(Device, GrainKeepsSmallWorkInline) {
+  Device dev = Device::parallel(4);
+  int calls = 0;
+  // count <= grain must run as a single inline range.
+  dev.parallel_for(8, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 8u);
+  },
+                   /*grain=*/16);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Scale, SamplesScaleWithFloor) {
+  ScaleConfig cfg;
+  cfg.data_fraction = 0.1;
+  EXPECT_EQ(cfg.scale_samples(1000), 100);
+  EXPECT_EQ(cfg.scale_samples(100, 64), 64);  // floor kicks in
+  EXPECT_EQ(cfg.scale_samples(10, 64), 10);   // never exceeds n
+}
+
+TEST(Scale, EpochsScaleWithFloor) {
+  ScaleConfig cfg;
+  cfg.epoch_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(cfg.scale_epochs(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(cfg.scale_epochs(0.01), 0.05);
+}
+
+TEST(Scale, StepCap) {
+  ScaleConfig cfg;
+  EXPECT_EQ(cfg.cap_steps(1000), 1000);  // no cap by default
+  cfg.max_step_cap = 10;
+  EXPECT_EQ(cfg.cap_steps(1000), 10);
+  EXPECT_EQ(cfg.cap_steps(5), 5);
+}
+
+TEST(Scale, InvalidFractionThrows) {
+  ScaleConfig cfg;
+  cfg.data_fraction = 0.0;
+  EXPECT_THROW(cfg.scale_samples(10), dlbench::Error);
+  cfg.data_fraction = 1.5;
+  EXPECT_THROW(cfg.scale_samples(10), dlbench::Error);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sw.seconds(), 0.0);
+  const double before = sw.seconds();
+  sw.reset();
+  EXPECT_LT(sw.seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace dlbench::runtime
