@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_execution.dir/bench_ablation_execution.cpp.o"
+  "CMakeFiles/bench_ablation_execution.dir/bench_ablation_execution.cpp.o.d"
+  "bench_ablation_execution"
+  "bench_ablation_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

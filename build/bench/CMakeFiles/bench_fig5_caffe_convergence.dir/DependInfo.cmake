@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_caffe_convergence.cpp" "bench/CMakeFiles/bench_fig5_caffe_convergence.dir/bench_fig5_caffe_convergence.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_caffe_convergence.dir/bench_fig5_caffe_convergence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/frameworks/CMakeFiles/dlb_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/dlb_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversarial/CMakeFiles/dlb_adversarial.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dlb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dlb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_mnist_framework_defaults.dir/bench_fig6_mnist_framework_defaults.cpp.o"
+  "CMakeFiles/bench_fig6_mnist_framework_defaults.dir/bench_fig6_mnist_framework_defaults.cpp.o.d"
+  "bench_fig6_mnist_framework_defaults"
+  "bench_fig6_mnist_framework_defaults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mnist_framework_defaults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

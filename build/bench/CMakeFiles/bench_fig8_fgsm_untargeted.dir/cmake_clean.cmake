@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fgsm_untargeted.dir/bench_fig8_fgsm_untargeted.cpp.o"
+  "CMakeFiles/bench_fig8_fgsm_untargeted.dir/bench_fig8_fgsm_untargeted.cpp.o.d"
+  "bench_fig8_fgsm_untargeted"
+  "bench_fig8_fgsm_untargeted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fgsm_untargeted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

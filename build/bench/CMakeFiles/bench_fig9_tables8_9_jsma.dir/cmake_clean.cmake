@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tables8_9_jsma.dir/bench_fig9_tables8_9_jsma.cpp.o"
+  "CMakeFiles/bench_fig9_tables8_9_jsma.dir/bench_fig9_tables8_9_jsma.cpp.o.d"
+  "bench_fig9_tables8_9_jsma"
+  "bench_fig9_tables8_9_jsma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tables8_9_jsma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_tables8_9_jsma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_tables8_9_jsma.
+# This may be replaced when dependencies are built.

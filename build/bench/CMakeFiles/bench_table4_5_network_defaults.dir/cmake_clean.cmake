@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_5_network_defaults.dir/bench_table4_5_network_defaults.cpp.o"
+  "CMakeFiles/bench_table4_5_network_defaults.dir/bench_table4_5_network_defaults.cpp.o.d"
+  "bench_table4_5_network_defaults"
+  "bench_table4_5_network_defaults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_5_network_defaults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_attack.dir/adversarial_attack.cpp.o"
+  "CMakeFiles/adversarial_attack.dir/adversarial_attack.cpp.o.d"
+  "adversarial_attack"
+  "adversarial_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

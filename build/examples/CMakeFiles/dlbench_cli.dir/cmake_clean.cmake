@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlbench_cli.dir/dlbench_cli.cpp.o"
+  "CMakeFiles/dlbench_cli.dir/dlbench_cli.cpp.o.d"
+  "dlbench_cli"
+  "dlbench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_adversarial.dir/attacks.cpp.o"
+  "CMakeFiles/dlb_adversarial.dir/attacks.cpp.o.d"
+  "libdlb_adversarial.a"
+  "libdlb_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

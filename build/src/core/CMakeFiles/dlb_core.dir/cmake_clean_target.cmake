@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlb_core.a"
+)

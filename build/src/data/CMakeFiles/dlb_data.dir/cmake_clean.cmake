@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_data.dir/augment.cpp.o"
+  "CMakeFiles/dlb_data.dir/augment.cpp.o.d"
+  "CMakeFiles/dlb_data.dir/dataset.cpp.o"
+  "CMakeFiles/dlb_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/dlb_data.dir/preprocess.cpp.o"
+  "CMakeFiles/dlb_data.dir/preprocess.cpp.o.d"
+  "CMakeFiles/dlb_data.dir/synthetic.cpp.o"
+  "CMakeFiles/dlb_data.dir/synthetic.cpp.o.d"
+  "libdlb_data.a"
+  "libdlb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frameworks/config.cpp" "src/frameworks/CMakeFiles/dlb_frameworks.dir/config.cpp.o" "gcc" "src/frameworks/CMakeFiles/dlb_frameworks.dir/config.cpp.o.d"
+  "/root/repo/src/frameworks/emulations.cpp" "src/frameworks/CMakeFiles/dlb_frameworks.dir/emulations.cpp.o" "gcc" "src/frameworks/CMakeFiles/dlb_frameworks.dir/emulations.cpp.o.d"
+  "/root/repo/src/frameworks/framework.cpp" "src/frameworks/CMakeFiles/dlb_frameworks.dir/framework.cpp.o" "gcc" "src/frameworks/CMakeFiles/dlb_frameworks.dir/framework.cpp.o.d"
+  "/root/repo/src/frameworks/registry.cpp" "src/frameworks/CMakeFiles/dlb_frameworks.dir/registry.cpp.o" "gcc" "src/frameworks/CMakeFiles/dlb_frameworks.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dlb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/dlb_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dlb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dlb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

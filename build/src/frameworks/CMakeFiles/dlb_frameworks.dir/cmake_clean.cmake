@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_frameworks.dir/config.cpp.o"
+  "CMakeFiles/dlb_frameworks.dir/config.cpp.o.d"
+  "CMakeFiles/dlb_frameworks.dir/emulations.cpp.o"
+  "CMakeFiles/dlb_frameworks.dir/emulations.cpp.o.d"
+  "CMakeFiles/dlb_frameworks.dir/framework.cpp.o"
+  "CMakeFiles/dlb_frameworks.dir/framework.cpp.o.d"
+  "CMakeFiles/dlb_frameworks.dir/registry.cpp.o"
+  "CMakeFiles/dlb_frameworks.dir/registry.cpp.o.d"
+  "libdlb_frameworks.a"
+  "libdlb_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/dlb_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/dlb_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/conv_direct.cpp" "src/nn/CMakeFiles/dlb_nn.dir/conv_direct.cpp.o" "gcc" "src/nn/CMakeFiles/dlb_nn.dir/conv_direct.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/dlb_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/dlb_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/network_spec.cpp" "src/nn/CMakeFiles/dlb_nn.dir/network_spec.cpp.o" "gcc" "src/nn/CMakeFiles/dlb_nn.dir/network_spec.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/dlb_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/dlb_nn.dir/sequential.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/dlb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dlb_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dlb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/dlb_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/dlb_nn.dir/conv_direct.cpp.o"
+  "CMakeFiles/dlb_nn.dir/conv_direct.cpp.o.d"
+  "CMakeFiles/dlb_nn.dir/layers.cpp.o"
+  "CMakeFiles/dlb_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/dlb_nn.dir/network_spec.cpp.o"
+  "CMakeFiles/dlb_nn.dir/network_spec.cpp.o.d"
+  "CMakeFiles/dlb_nn.dir/sequential.cpp.o"
+  "CMakeFiles/dlb_nn.dir/sequential.cpp.o.d"
+  "libdlb_nn.a"
+  "libdlb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

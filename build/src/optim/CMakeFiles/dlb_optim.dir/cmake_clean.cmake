@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/dlb_optim.dir/optimizer.cpp.o.d"
+  "libdlb_optim.a"
+  "libdlb_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_runtime.dir/device.cpp.o"
+  "CMakeFiles/dlb_runtime.dir/device.cpp.o.d"
+  "CMakeFiles/dlb_runtime.dir/scale.cpp.o"
+  "CMakeFiles/dlb_runtime.dir/scale.cpp.o.d"
+  "CMakeFiles/dlb_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/dlb_runtime.dir/thread_pool.cpp.o.d"
+  "libdlb_runtime.a"
+  "libdlb_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_tensor.dir/conv.cpp.o"
+  "CMakeFiles/dlb_tensor.dir/conv.cpp.o.d"
+  "CMakeFiles/dlb_tensor.dir/init.cpp.o"
+  "CMakeFiles/dlb_tensor.dir/init.cpp.o.d"
+  "CMakeFiles/dlb_tensor.dir/matmul.cpp.o"
+  "CMakeFiles/dlb_tensor.dir/matmul.cpp.o.d"
+  "CMakeFiles/dlb_tensor.dir/ops.cpp.o"
+  "CMakeFiles/dlb_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/dlb_tensor.dir/pool.cpp.o"
+  "CMakeFiles/dlb_tensor.dir/pool.cpp.o.d"
+  "CMakeFiles/dlb_tensor.dir/shape.cpp.o"
+  "CMakeFiles/dlb_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/dlb_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dlb_tensor.dir/tensor.cpp.o.d"
+  "libdlb_tensor.a"
+  "libdlb_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

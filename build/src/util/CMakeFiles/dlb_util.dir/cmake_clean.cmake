@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlb_util.dir/entropy.cpp.o"
+  "CMakeFiles/dlb_util.dir/entropy.cpp.o.d"
+  "CMakeFiles/dlb_util.dir/format.cpp.o"
+  "CMakeFiles/dlb_util.dir/format.cpp.o.d"
+  "CMakeFiles/dlb_util.dir/rng.cpp.o"
+  "CMakeFiles/dlb_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dlb_util.dir/table.cpp.o"
+  "CMakeFiles/dlb_util.dir/table.cpp.o.d"
+  "libdlb_util.a"
+  "libdlb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
