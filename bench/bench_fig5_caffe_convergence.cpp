@@ -43,6 +43,25 @@ int main() {
   std::cout << core::summarize(good.record) << "\n"
             << core::summarize(bad.record) << "\n\n";
 
+  // Robustness report: how the guarded trainer handled each cell —
+  // first divergent step (if any), rollback/retry count, final status.
+  // With DLB_FAULT_* set this shows injected faults being absorbed.
+  util::Table recovery({"Cell", "Status", "Divergence Step", "Recoveries",
+                        "Timed Out"});
+  recovery.set_title("Guarded-training recovery stats");
+  auto recovery_row = [&recovery](const std::string& name,
+                                  const core::RunRecord& r) {
+    recovery.add_row({name, core::run_status(r),
+                      r.train.divergence_step < 0
+                          ? "-"
+                          : std::to_string(r.train.divergence_step),
+                      std::to_string(r.train.recovery_attempts),
+                      r.train.timed_out ? "yes" : "no"});
+  };
+  recovery_row("Caffe CIFAR-10 settings", good.record);
+  recovery_row("Caffe MNIST settings", bad.record);
+  std::cout << recovery << "\n";
+
   shape_check("CIFAR-10 settings converge (loss declines, paper Fig 5)",
               good.record.train.converged &&
                   g.back().second < g.front().second * 0.8);

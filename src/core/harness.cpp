@@ -48,6 +48,15 @@ HarnessOptions HarnessOptions::test_profile() {
 }
 
 Harness::Harness(HarnessOptions options) : options_(options) {
+  // Arm env-requested fault injection (DLB_FAULT_*) for the harness's
+  // lifetime, i.e. a whole sweep. With the default single firing, the
+  // first cell to reach the trigger absorbs the fault and the rest of
+  // the sweep runs clean. Skipped if the caller already owns a scope.
+  if (!runtime::fault::enabled()) {
+    runtime::fault::FaultPlan plan = runtime::fault::FaultPlan::from_env();
+    if (plan.active()) fault_scope_.emplace(plan);
+  }
+
   data::MnistOptions mnist_opt;
   mnist_opt.train_samples = options_.mnist_train;
   mnist_opt.test_samples = options_.mnist_test;
@@ -77,6 +86,7 @@ frameworks::TrainOptions Harness::train_options_for(
   opts.min_steps_floor = static_cast<std::int64_t>(
       options_.iteration_fraction *
       static_cast<double>(config.paper_max_iterations));
+  opts.guard = frameworks::GuardOptions::from_env();
   opts.scale = runtime::ScaleConfig::from_env(runtime::ScaleConfig());
   if (opts.scale.max_step_cap == 0) {
     // Convert the per-run compute budget into a step cap: one training
@@ -139,9 +149,17 @@ Harness::TrainedModel Harness::train_model_with_fc_width(
   out.record.setting = config.label;
   out.record.dataset = train.name;
   out.record.device = device.name();
-  out.record.train = framework->train(out.model, train, config, device,
-                                      train_options_for(config, data, spec));
-  out.record.eval = framework->evaluate(out.model, test, device);
+  // Guarded execution: a cell whose train/eval throws is returned as a
+  // failed record (with the trainer's divergence/recovery stats intact)
+  // instead of killing the sweep that requested it.
+  try {
+    out.record.train = framework->train(
+        out.model, train, config, device,
+        train_options_for(config, data, spec));
+    out.record.eval = framework->evaluate(out.model, test, device);
+  } catch (const dlbench::Error& e) {
+    out.record.error = e.what();
+  }
   out.test = std::move(test);
   return out;
 }

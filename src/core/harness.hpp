@@ -10,11 +10,13 @@
 // bench binary is a thin loop over the cross-product its figure needs.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "data/dataset.hpp"
 #include "frameworks/framework.hpp"
 #include "frameworks/registry.hpp"
+#include "runtime/fault.hpp"
 
 namespace dlbench::core {
 
@@ -69,6 +71,12 @@ struct RunRecord {
   std::string device;         // "CPU" / "GPU"
   frameworks::TrainResult train;
   frameworks::EvalResult eval;
+  /// Non-empty when the cell's train/eval threw: the error message.
+  /// A failed cell is reported, not rethrown, so one bad cell cannot
+  /// abort a whole figure sweep.
+  std::string error;
+
+  bool failed() const { return !error.empty(); }
 };
 
 /// Owns datasets + scaling; executes experiment cells.
@@ -116,6 +124,11 @@ class Harness {
       const nn::NetworkSpec& spec) const;
 
   HarnessOptions options_;
+  /// Holds the env-armed DLB_FAULT_* plan (if any) for the harness's
+  /// lifetime, so bench sweeps honor fault injection with no code
+  /// changes. Empty when no fault is requested or a scope already
+  /// exists (e.g. a test driving its own FaultScope).
+  std::optional<runtime::fault::FaultScope> fault_scope_;
   data::DatasetPair mnist_;
   data::DatasetPair cifar_;
 };

@@ -7,6 +7,27 @@
 
 namespace dlbench::core {
 
+std::string run_status(const RunRecord& r) {
+  if (r.failed()) return "ERROR";
+  std::ostringstream os;
+  if (r.train.converged) {
+    os << "yes";
+    if (r.train.recovery_attempts > 0)
+      os << " (recovered x" << r.train.recovery_attempts << ")";
+    return os.str();
+  }
+  os << "NO";
+  if (r.train.timed_out) {
+    os << " (timed out)";
+  } else if (r.train.divergence_step >= 0) {
+    os << " (diverged@" << r.train.divergence_step;
+    if (r.train.recovery_attempts > 0)
+      os << ", " << r.train.recovery_attempts << " recoveries";
+    os << ")";
+  }
+  return os.str();
+}
+
 util::Table results_table(const std::string& title,
                           const std::vector<RunRecord>& records) {
   util::Table table({"Framework", "Default Settings", "Device",
@@ -18,7 +39,7 @@ util::Table results_table(const std::string& title,
                    util::format_seconds(r.train.train_time_s),
                    util::format_seconds(r.eval.test_time_s),
                    util::format_percent(r.eval.accuracy_pct),
-                   r.train.converged ? "yes" : "NO"});
+                   run_status(r)});
   }
   return table;
 }
@@ -30,8 +51,22 @@ std::string summarize(const RunRecord& r) {
      << "s over " << r.train.steps << " steps ("
      << util::format_fixed(r.train.epochs_run, 2) << " epochs), test "
      << util::format_seconds(r.eval.test_time_s) << "s, accuracy "
-     << util::format_percent(r.eval.accuracy_pct) << "%"
-     << (r.train.converged ? "" : "  [DID NOT CONVERGE]");
+     << util::format_percent(r.eval.accuracy_pct) << "%";
+  if (r.train.recovery_attempts > 0 && !r.train.diverged) {
+    os << "  [RECOVERED from divergence at step " << r.train.divergence_step
+       << " after " << r.train.recovery_attempts << " rollback(s)]";
+  }
+  if (!r.train.converged) {
+    os << "  [DID NOT CONVERGE";
+    if (r.train.timed_out) {
+      os << ": watchdog timeout";
+    } else if (r.train.diverged) {
+      os << ": diverged at step " << r.train.divergence_step << ", "
+         << r.train.recovery_attempts << " recovery attempt(s) exhausted";
+    }
+    os << "]";
+  }
+  if (r.failed()) os << "  [ERROR: " << r.error << "]";
   return os.str();
 }
 

@@ -18,6 +18,11 @@ util::Table results_table(const std::string& title,
 /// One-line summary of a record for log output.
 std::string summarize(const RunRecord& record);
 
+/// Convergence/failure status cell for a record: "yes",
+/// "yes (recovered x1)", "NO (diverged@120, 2 recoveries)",
+/// "NO (timed out)", or "ERROR".
+std::string run_status(const RunRecord& record);
+
 /// Prints a header banner for a bench binary, including the workload
 /// profile so results are interpretable.
 void print_banner(const std::string& experiment_id,

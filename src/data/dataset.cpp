@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "runtime/fault.hpp"
 #include "util/entropy.hpp"
 #include "util/error.hpp"
 
@@ -72,26 +73,40 @@ void DataLoader::start_epoch() {
 }
 
 bool DataLoader::next(Batch& out) {
-  if (cursor_ >= dataset_.size()) return false;
-  const std::int64_t begin = cursor_;
-  const std::int64_t end = std::min(dataset_.size(), begin + batch_size_);
-  const std::int64_t b = end - begin;
-  const std::int64_t c = dataset_.channels(), h = dataset_.height(),
-                     w = dataset_.width();
-  const std::int64_t sample_sz = c * h * w;
+  while (cursor_ < dataset_.size()) {
+    const std::int64_t begin = cursor_;
+    const std::int64_t end = std::min(dataset_.size(), begin + batch_size_);
+    cursor_ = end;
 
-  out.images = Tensor({b, c, h, w});
-  out.labels.resize(static_cast<std::size_t>(b));
-  for (std::int64_t i = 0; i < b; ++i) {
-    const std::int64_t src = order_[static_cast<std::size_t>(begin + i)];
-    std::memcpy(out.images.raw() + i * sample_sz,
-                dataset_.images.raw() + src * sample_sz,
-                static_cast<std::size_t>(sample_sz) * sizeof(float));
-    out.labels[static_cast<std::size_t>(i)] =
-        dataset_.labels[static_cast<std::size_t>(src)];
+    // Injected dataset faults may silently drop samples; a batch whose
+    // samples were all dropped is skipped, not emitted empty.
+    std::vector<std::int64_t> sources;
+    sources.reserve(static_cast<std::size_t>(end - begin));
+    const bool faulty = runtime::fault::enabled();
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::int64_t src = order_[static_cast<std::size_t>(i)];
+      if (faulty && runtime::fault::maybe_drop_sample(src)) continue;
+      sources.push_back(src);
+    }
+    if (sources.empty()) continue;
+
+    const std::int64_t b = static_cast<std::int64_t>(sources.size());
+    const std::int64_t c = dataset_.channels(), h = dataset_.height(),
+                       w = dataset_.width();
+    const std::int64_t sample_sz = c * h * w;
+    out.images = Tensor({b, c, h, w});
+    out.labels.resize(static_cast<std::size_t>(b));
+    for (std::int64_t i = 0; i < b; ++i) {
+      const std::int64_t src = sources[static_cast<std::size_t>(i)];
+      std::memcpy(out.images.raw() + i * sample_sz,
+                  dataset_.images.raw() + src * sample_sz,
+                  static_cast<std::size_t>(sample_sz) * sizeof(float));
+      out.labels[static_cast<std::size_t>(i)] =
+          dataset_.labels[static_cast<std::size_t>(src)];
+    }
+    return true;
   }
-  cursor_ = end;
-  return true;
+  return false;
 }
 
 DatasetStats compute_stats(const Dataset& dataset) {

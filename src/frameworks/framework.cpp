@@ -2,11 +2,83 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <span>
 
+#include "runtime/fault.hpp"
 #include "runtime/stopwatch.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::frameworks {
+
+namespace {
+
+std::int64_t env_i64(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  return std::strtoll(raw, nullptr, 10);
+}
+
+double env_f64(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  return std::strtod(raw, nullptr);
+}
+
+std::vector<tensor::Tensor> clone_params(nn::Sequential& model) {
+  std::vector<tensor::Tensor> out;
+  for (const tensor::Tensor* p : model.params()) out.push_back(p->clone());
+  return out;
+}
+
+void restore_params(nn::Sequential& model,
+                    const std::vector<tensor::Tensor>& snapshot) {
+  auto params = model.params();
+  DLB_ASSERT(params.size() == snapshot.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto dst = params[i]->data();
+    auto src = snapshot[i].data();
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+// True when any gradient entry is non-finite, or (when `limit` > 0)
+// the global gradient L2 norm exceeds it. A non-finite entry makes the
+// accumulated sum of squares non-finite, so one pass covers both.
+bool gradients_divergent(const std::vector<tensor::Tensor*>& grads,
+                         double limit) {
+  if (limit > 0.0) {
+    double sumsq = 0.0;
+    for (const tensor::Tensor* g : grads)
+      for (const float v : g->data()) sumsq += static_cast<double>(v) * v;
+    return !std::isfinite(sumsq) || std::sqrt(sumsq) > limit;
+  }
+  for (const tensor::Tensor* g : grads)
+    if (g->has_non_finite()) return true;
+  return false;
+}
+
+// The recovery retry runs the same setting at a backed-off rate; the
+// multiplier applies to every phase of the schedule.
+TrainingConfig scale_learning_rate(TrainingConfig config, double scale) {
+  config.base_lr *= scale;
+  for (auto& phase : config.lr_phases) phase.second *= scale;
+  return config;
+}
+
+}  // namespace
+
+GuardOptions GuardOptions::from_env(GuardOptions fallback) {
+  GuardOptions opt = fallback;
+  opt.max_recoveries = static_cast<int>(
+      env_i64("DLB_GUARD_MAX_RECOVERIES", opt.max_recoveries));
+  opt.snapshot_interval =
+      env_i64("DLB_GUARD_SNAPSHOT_INTERVAL", opt.snapshot_interval);
+  opt.lr_backoff = env_f64("DLB_GUARD_LR_BACKOFF", opt.lr_backoff);
+  opt.grad_norm_limit = env_f64("DLB_GUARD_GRAD_LIMIT", opt.grad_norm_limit);
+  opt.timeout_s = env_f64("DLB_TRAIN_TIMEOUT_S", opt.timeout_s);
+  return opt;
+}
 
 void Framework::prepare(nn::Sequential&, const tensor::Tensor&,
                         const nn::Context&) const {}
@@ -45,17 +117,78 @@ TrainResult Framework::train(nn::Sequential& model,
   TrainResult result;
   runtime::Stopwatch clock;
 
+  const GuardOptions& guard = options.guard;
+  // Watchdog: bounds the run's wall clock so a stalled cell aborts
+  // instead of hanging the whole suite (expiry is checked every step,
+  // and injected stalls poll the abort flag it raises).
+  runtime::fault::Watchdog watchdog(guard.timeout_s);
+
   // Session setup (e.g. TF graph compile) counts toward training time.
   prepare(model, train_set.sample(0), ctx);
 
+  // Guarded loop state: a periodic in-memory snapshot to roll back to,
+  // and the cumulative learning-rate backoff across recoveries.
+  const bool recovery_enabled = guard.max_recoveries > 0;
+  std::vector<tensor::Tensor> snapshot;
+  std::int64_t snapshot_step = 0;
+  if (recovery_enabled) snapshot = clone_params(model);
+  double lr_scale = 1.0;
+
   std::int64_t step = 0;
+  bool aborted = false;
   data::Batch batch;
-  while (step < total_steps) {
+  while (step < total_steps && !aborted) {
+    const std::int64_t step_at_epoch_start = step;
+    bool rolled_back = false;
     loader.start_epoch();
     while (step < total_steps && loader.next(batch)) {
+      if (watchdog.expired()) {
+        result.timed_out = true;
+        aborted = true;
+        break;
+      }
+      runtime::fault::maybe_stall_step(step);
+
       model.zero_grads();
       nn::LossResult loss = model.forward_loss(batch.images, batch.labels, ctx);
       model.backward(loss, batch.labels, ctx);
+
+      if (runtime::fault::enabled()) {
+        std::vector<std::span<float>> grad_spans;
+        for (tensor::Tensor* g : model.grads())
+          grad_spans.push_back(g->data());
+        runtime::fault::maybe_corrupt_gradients(step, grad_spans);
+      }
+
+      // Divergence is detected *before* the update is applied, so one
+      // bad step cannot poison the parameters it would write to.
+      const bool divergent =
+          !std::isfinite(loss.loss) ||
+          gradients_divergent(model.grads(), guard.grad_norm_limit);
+      if (divergent) {
+        if (result.divergence_step < 0) result.divergence_step = step;
+        if (!recovery_enabled ||
+            result.recovery_attempts >= guard.max_recoveries) {
+          result.diverged = true;
+          aborted = true;
+          break;
+        }
+        // Bounded recovery: roll back to the snapshot, back off the
+        // learning rate, and retry from there with a fresh optimizer.
+        ++result.recovery_attempts;
+        restore_params(model, snapshot);
+        model.zero_grads();
+        lr_scale *= guard.lr_backoff;
+        optimizer = make_optimizer(scale_learning_rate(config, lr_scale),
+                                   steps_per_epoch, total_steps);
+        while (!result.loss_curve.empty() &&
+               result.loss_curve.back().first >= snapshot_step)
+          result.loss_curve.pop_back();
+        step = snapshot_step;
+        rolled_back = true;
+        break;  // restart from a fresh epoch at the snapshot step
+      }
+
       optimizer->step(model.params(), model.grads(), step, device);
 
       if (step % options.loss_record_interval == 0 ||
@@ -64,6 +197,19 @@ TrainResult Framework::train(nn::Sequential& model,
       }
       result.final_loss = loss.loss;
       ++step;
+
+      if (recovery_enabled && guard.snapshot_interval > 0 &&
+          step % guard.snapshot_interval == 0) {
+        snapshot = clone_params(model);
+        snapshot_step = step;
+      }
+    }
+    // Data starvation (e.g. every sample of an epoch dropped by an
+    // injected fault): give up instead of spinning on empty epochs.
+    if (step == step_at_epoch_start && !rolled_back && !aborted) {
+      if (result.divergence_step < 0) result.divergence_step = step;
+      result.diverged = true;
+      break;
     }
   }
 
@@ -73,9 +219,12 @@ TrainResult Framework::train(nn::Sequential& model,
                       static_cast<double>(steps_per_epoch);
   // Chance-level mean cross-entropy for C classes is ln(C); a run that
   // never gets meaningfully below it did not converge (paper Fig. 5).
+  // A run that exhausted recovery is a failure regardless of the last
+  // loss it managed to record.
   const double chance_loss =
       std::log(static_cast<double>(train_set.num_classes));
-  result.converged = std::isfinite(result.final_loss) &&
+  result.converged = step > 0 && !result.diverged &&
+                     std::isfinite(result.final_loss) &&
                      result.final_loss < 0.95 * chance_loss;
   return result;
 }
@@ -102,8 +251,12 @@ EvalResult Framework::evaluate(nn::Sequential& model,
     result.total += batch.size();
   }
   result.test_time_s = clock.seconds();
-  result.accuracy_pct = 100.0 * static_cast<double>(result.correct) /
-                        static_cast<double>(result.total);
+  // total can be 0 under an injected 100% sample-drop fault; report 0%
+  // rather than a NaN that would poison downstream tables.
+  result.accuracy_pct = result.total > 0
+                            ? 100.0 * static_cast<double>(result.correct) /
+                                  static_cast<double>(result.total)
+                            : 0.0;
   return result;
 }
 

@@ -28,6 +28,36 @@ namespace dlbench::frameworks {
 
 using runtime::Device;
 
+/// Divergence-detection and bounded-recovery policy for the guarded
+/// training loop. A "divergent" step is one whose loss or gradients go
+/// non-finite (or whose gradient L2 norm exceeds `grad_norm_limit`,
+/// when that check is enabled). On divergence the trainer rolls the
+/// model back to its last in-memory snapshot, rebuilds the optimizer
+/// with a backed-off learning rate, and retries; when retries are
+/// exhausted it returns a TrainResult marked diverged instead of
+/// grinding through NaN weights or throwing.
+struct GuardOptions {
+  /// Rollback/retry attempts before giving up. 0 disables recovery
+  /// (detection still records the divergence step).
+  int max_recoveries = 2;
+  /// Steps between in-memory parameter snapshots.
+  std::int64_t snapshot_interval = 50;
+  /// Multiplier applied to the setting's learning rate per recovery.
+  double lr_backoff = 0.1;
+  /// Gradient L2-norm limit for the explosion check; 0 disables it
+  /// (non-finite gradients are always divergent).
+  double grad_norm_limit = 0.0;
+  /// Watchdog wall-clock budget per training run, seconds; 0 disables.
+  /// A run that exceeds it is aborted and marked timed_out.
+  double timeout_s = 0.0;
+
+  /// Reads DLB_GUARD_MAX_RECOVERIES / DLB_GUARD_SNAPSHOT_INTERVAL /
+  /// DLB_GUARD_LR_BACKOFF / DLB_GUARD_GRAD_LIMIT / DLB_TRAIN_TIMEOUT_S
+  /// overrides on top of `fallback` (defaults when omitted).
+  static GuardOptions from_env(GuardOptions fallback);
+  static GuardOptions from_env() { return from_env(GuardOptions{}); }
+};
+
 /// Harness-level knobs for one training run.
 struct TrainOptions {
   runtime::ScaleConfig scale = runtime::ScaleConfig::bench_default();
@@ -39,6 +69,8 @@ struct TrainOptions {
   /// holding epochs would shrink the optimization budget 30-50x, so the
   /// harness floors steps at a fraction of the paper's iterations.
   std::int64_t min_steps_floor = 0;
+  /// Divergence recovery + watchdog policy.
+  GuardOptions guard;
 };
 
 /// Outcome of a training run (Figures 1–7 left panels + Figure 5).
@@ -52,6 +84,16 @@ struct TrainResult {
   /// False when training failed to beat chance-level loss — the
   /// paper's Caffe-on-CIFAR-with-MNIST-settings outcome.
   bool converged = false;
+  /// First step whose loss/gradients went non-finite (or exceeded the
+  /// guard's norm limit); -1 when no step diverged. Recorded even when
+  /// a rollback later recovered the run.
+  std::int64_t divergence_step = -1;
+  /// Rollback + learning-rate-backoff recoveries performed.
+  int recovery_attempts = 0;
+  /// True when recovery was exhausted and training aborted early.
+  bool diverged = false;
+  /// True when the watchdog expired before the step budget completed.
+  bool timed_out = false;
 };
 
 /// Outcome of an evaluation run (middle/right panels).

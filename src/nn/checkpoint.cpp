@@ -1,10 +1,14 @@
 #include "nn/checkpoint.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "runtime/fault.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::nn {
@@ -12,9 +16,20 @@ namespace dlbench::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x444c4243;  // "DLBC"
-constexpr std::uint32_t kVersion = 1;
+// v1: magic, version, count, tensors — no integrity protection.
+// v2: magic, version, payload length (u64), payload (count + tensors),
+//     CRC-32 of the payload. Old v1 streams remain loadable.
+constexpr std::uint32_t kLegacyVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+// magic + version + payload length.
+constexpr std::size_t kHeaderBytes = 2 * sizeof(std::uint32_t) +
+                                     sizeof(std::uint64_t);
 
 void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
@@ -29,6 +44,13 @@ std::uint32_t read_u32(std::istream& in) {
   return v;
 }
 
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DLB_CHECK(in.good(), "checkpoint stream truncated");
+  return v;
+}
+
 std::int64_t read_i64(std::istream& in) {
   std::int64_t v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
@@ -36,34 +58,24 @@ std::int64_t read_i64(std::istream& in) {
   return v;
 }
 
-}  // namespace
-
-void save_checkpoint(Sequential& model, std::ostream& out) {
+// Serializes the version-independent payload: tensor count, then each
+// tensor as rank + dims + raw float32 data.
+std::string serialize_payload(Sequential& model) {
+  std::ostringstream payload(std::ios::binary);
   const auto params = model.params();
-  write_u32(out, kMagic);
-  write_u32(out, kVersion);
-  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  write_u32(payload, static_cast<std::uint32_t>(params.size()));
   for (const tensor::Tensor* p : params) {
-    write_u32(out, static_cast<std::uint32_t>(p->shape().rank()));
+    write_u32(payload, static_cast<std::uint32_t>(p->shape().rank()));
     for (int d = 0; d < p->shape().rank(); ++d)
-      write_i64(out, p->shape().dim(d));
-    out.write(reinterpret_cast<const char*>(p->raw()),
-              static_cast<std::streamsize>(p->numel() * sizeof(float)));
+      write_i64(payload, p->shape().dim(d));
+    payload.write(reinterpret_cast<const char*>(p->raw()),
+                  static_cast<std::streamsize>(p->numel() * sizeof(float)));
   }
-  DLB_CHECK(out.good(), "checkpoint write failed");
+  return std::move(payload).str();
 }
 
-void save_checkpoint(Sequential& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  DLB_CHECK(out.is_open(), "cannot open " << path << " for writing");
-  save_checkpoint(model, out);
-}
-
-void load_checkpoint(Sequential& model, std::istream& in) {
-  DLB_CHECK(read_u32(in) == kMagic, "not a dlbench checkpoint");
-  const std::uint32_t version = read_u32(in);
-  DLB_CHECK(version == kVersion, "unsupported checkpoint version "
-                                     << version);
+// Parses the payload into the model (shared by v1 and v2 loads).
+void load_payload(Sequential& model, std::istream& in) {
   const auto params = model.params();
   const std::uint32_t count = read_u32(in);
   DLB_CHECK(count == params.size(),
@@ -84,6 +96,71 @@ void load_checkpoint(Sequential& model, std::istream& in) {
             static_cast<std::streamsize>(p->numel() * sizeof(float)));
     DLB_CHECK(in.good(), "checkpoint stream truncated mid-tensor");
   }
+}
+
+}  // namespace
+
+void save_checkpoint(Sequential& model, std::ostream& out) {
+  const std::string payload = serialize_payload(model);
+  std::ostringstream container(std::ios::binary);
+  write_u32(container, kMagic);
+  write_u32(container, kVersion);
+  write_u64(container, static_cast<std::uint64_t>(payload.size()));
+  container.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+  write_u32(container, util::crc32(payload.data(), payload.size()));
+
+  std::string bytes = std::move(container).str();
+  // Injection point: simulated disk corruption lands in the protected
+  // region (past the header) so the CRC is what detects it.
+  runtime::fault::maybe_corrupt_stream(bytes, kHeaderBytes);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  DLB_CHECK(out.good(), "checkpoint write failed");
+}
+
+void save_checkpoint(Sequential& model, const std::string& path) {
+  // Write-temp-then-rename: a crash or fault mid-write can never leave
+  // a half-written file at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    DLB_CHECK(out.is_open(), "cannot open " << tmp << " for writing");
+    save_checkpoint(model, out);
+    out.flush();
+    DLB_CHECK(out.good(), "checkpoint write to " << tmp << " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    DLB_CHECK(false, "cannot rename " << tmp << " to " << path);
+  }
+}
+
+void load_checkpoint(Sequential& model, std::istream& in) {
+  DLB_CHECK(read_u32(in) == kMagic, "not a dlbench checkpoint");
+  const std::uint32_t version = read_u32(in);
+  if (version == kLegacyVersion) {
+    load_payload(model, in);
+    return;
+  }
+  DLB_CHECK(version == kVersion, "unsupported checkpoint version "
+                                     << version);
+  const std::uint64_t length = read_u64(in);
+  // Bound the allocation before trusting a possibly-corrupt header.
+  DLB_CHECK(length <= (1ull << 31),
+            "implausible checkpoint payload length " << length);
+  std::string payload(length, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(length));
+  DLB_CHECK(in.good() &&
+                static_cast<std::uint64_t>(in.gcount()) == length,
+            "checkpoint stream truncated (payload shorter than header's "
+                << length << " bytes)");
+  const std::uint32_t expected = read_u32(in);
+  const std::uint32_t actual = util::crc32(payload.data(), payload.size());
+  DLB_CHECK(actual == expected,
+            "checkpoint checksum mismatch (stored " << expected << ", computed "
+                << actual << ") — stream is corrupt");
+  std::istringstream payload_in(payload, std::ios::binary);
+  load_payload(model, payload_in);
 }
 
 void load_checkpoint(Sequential& model, const std::string& path) {

@@ -5,9 +5,13 @@
 // The paper notes that "pre-trained models are made available on many
 // platforms, such as Caffe Model Zoo" — a benchmark suite needs to save
 // and restore trained parameters to separate training cost from
-// inference/robustness measurements. The format is a small
-// versioned binary container: magic, version, tensor count, then each
-// tensor as rank + dims + raw float32 data (little-endian).
+// inference/robustness measurements. The format is a small versioned
+// binary container (little-endian). Version 2 hardens it against
+// bit-rot and truncation: magic, version, payload length (u64), payload
+// (tensor count, then each tensor as rank + dims + raw float32 data),
+// CRC-32 of the payload. Version 1 streams (no length/CRC) are still
+// loadable. The path overload writes atomically (temp file + rename),
+// so a crash mid-save never leaves a torn checkpoint behind.
 
 #include <iosfwd>
 #include <string>

@@ -1,0 +1,165 @@
+#pragma once
+
+// Deterministic fault injection + cooperative watchdog.
+//
+// Framework comparisons are only trustworthy when failure modes are
+// detected, isolated and reported rather than crashing the run. This
+// module makes failures *reproducible*: a seeded FaultPlan describes
+// which faults to fire (NaN/Inf gradient corruption at a chosen step,
+// byte flips in serialized checkpoints, dataset sample drops, stalled
+// workers), and a FaultScope installs it for the dynamic extent of a
+// run. Injection points are free functions that cost one relaxed
+// atomic load when no scope is active, so production paths are
+// untouched when faults are off.
+//
+// The Watchdog bounds a run's wall clock. It cannot forcibly kill a
+// thread (nothing portable can), so expiry is cooperative: it raises a
+// global abort flag that the guarded training loop checks every step
+// and that injected stalls poll every millisecond, which is enough to
+// guarantee a stalled cell unwinds instead of hanging a bench suite.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dlbench::runtime::fault {
+
+/// What to write into corrupted gradient entries.
+enum class GradFault { kNone, kNaN, kInf };
+
+/// Where an injected stall fires.
+enum class StallScope { kTrainStep, kPoolWorker };
+
+/// A deterministic description of the faults to inject. Every random
+/// choice (which entries to corrupt, which bytes to flip, which samples
+/// to drop) is drawn from an Rng seeded with `seed`, so a plan replays
+/// identically.
+struct FaultPlan {
+  // -- gradient corruption (guarded-training divergence trigger) --
+  GradFault grad_fault = GradFault::kNone;
+  /// Global optimizer step at which gradients are corrupted.
+  std::int64_t grad_step = -1;
+  /// How many times the gradient fault may fire in total. The guarded
+  /// loop re-visits `grad_step` after a rollback, so 1 models a
+  /// transient fault (recoverable) and a large count a persistent one
+  /// (drives retry exhaustion).
+  std::int64_t grad_max_fires = 1;
+  /// Fraction of each gradient tensor's entries to corrupt, in (0, 1].
+  double grad_fraction = 0.01;
+
+  // -- checkpoint stream corruption --
+  /// Number of random byte flips applied to each serialized checkpoint.
+  std::int64_t ckpt_flip_bytes = 0;
+
+  // -- dataset faults --
+  /// Probability that the loader silently drops any given sample.
+  double sample_drop_rate = 0.0;
+
+  // -- stalls --
+  /// Stall duration; 0 disables stalling.
+  std::int64_t stall_ms = 0;
+  /// Training step at which a kTrainStep stall fires.
+  std::int64_t stall_step = 0;
+  StallScope stall_scope = StallScope::kTrainStep;
+
+  /// Seed for the plan's private Rng stream.
+  std::uint64_t seed = 0xfa017u;
+
+  /// True if any fault is armed.
+  bool active() const;
+
+  /// Builds a plan from DLB_FAULT_* environment variables:
+  ///   DLB_FAULT_NAN_STEP / DLB_FAULT_INF_STEP  step to corrupt grads
+  ///   DLB_FAULT_GRAD_FIRES    max gradient-fault firings (default 1)
+  ///   DLB_FAULT_GRAD_FRACTION fraction of entries corrupted (0.01)
+  ///   DLB_FAULT_CKPT_FLIPS    byte flips per serialized checkpoint
+  ///   DLB_FAULT_DROP_RATE     per-sample drop probability
+  ///   DLB_FAULT_STALL_MS      stall duration (0 = off)
+  ///   DLB_FAULT_STALL_STEP    step at which the stall fires (0)
+  ///   DLB_FAULT_STALL_WORKER  1 = stall a pool worker instead
+  ///   DLB_FAULT_SEED          fault Rng seed
+  static FaultPlan from_env();
+};
+
+/// Counts of faults actually delivered under a scope.
+struct FaultStats {
+  std::int64_t gradient_fires = 0;
+  std::int64_t checkpoint_bytes_flipped = 0;
+  std::int64_t samples_dropped = 0;
+  std::int64_t stalls = 0;
+};
+
+/// RAII activation of a FaultPlan. At most one scope is active at a
+/// time (nesting throws); destruction deactivates and keeps the stats
+/// readable. Thread-safe: injection points may be hit from pool
+/// workers while the owner thread trains.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan);
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+  ~FaultScope();
+
+  const FaultStats& stats() const;
+
+  /// Opaque shared state; defined in fault.cpp (the injection points
+  /// reach it through the module's active-scope pointer).
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+/// True when a FaultScope is active (one relaxed atomic load).
+bool enabled();
+
+/// Corrupts a deterministic subset of the given gradient buffers if the
+/// active plan's gradient fault is armed for `step` and firings remain.
+/// Returns true when the fault fired.
+bool maybe_corrupt_gradients(std::int64_t step,
+                             const std::vector<std::span<float>>& grads);
+
+/// True when the active plan says to drop this sample.
+bool maybe_drop_sample(std::int64_t sample_index);
+
+/// Flips the planned number of random bytes in `bytes`, restricted to
+/// offsets in [min_offset, bytes.size()). Returns flips performed.
+std::int64_t maybe_corrupt_stream(std::string& bytes,
+                                  std::size_t min_offset = 0);
+
+/// Training-loop stall: sleeps stall_ms (abort-aware) when the active
+/// plan's kTrainStep stall is armed for `step`. Fires at most once.
+void maybe_stall_step(std::int64_t step);
+
+/// Pool-worker stall: first task executed after scope activation sleeps
+/// stall_ms (abort-aware) when a kPoolWorker stall is armed.
+void maybe_stall_worker();
+
+// ---- cooperative abort (set by Watchdog, polled by stalls/loops) ----
+
+void request_abort();
+void clear_abort();
+bool abort_requested();
+
+/// Wall-clock guard for one training run. Arms a monitor thread that
+/// raises the global abort flag once `timeout_s` elapses; timeout <= 0
+/// disarms (no thread is spawned). The destructor stops the monitor
+/// and, if the watchdog fired, clears the abort flag it raised.
+class Watchdog {
+ public:
+  explicit Watchdog(double timeout_s);
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+  ~Watchdog();
+
+  /// True once the deadline has passed.
+  bool expired() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dlbench::runtime::fault

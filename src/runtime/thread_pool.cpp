@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 
+#include "runtime/fault.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::runtime {
@@ -34,6 +35,7 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    fault::maybe_stall_worker();
     task();
   }
 }

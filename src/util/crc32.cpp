@@ -1,0 +1,41 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace dlbench::util {
+
+namespace {
+
+// Table generated at first use from the reflected polynomial; identical
+// to the zlib table, so checksums are comparable with external tools.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+  const auto& table = crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_update(0, data, size);
+}
+
+}  // namespace dlbench::util

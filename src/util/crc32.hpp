@@ -1,0 +1,19 @@
+#pragma once
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// used by zlib/gzip/PNG. The checkpoint container uses it to detect
+// bit-rot and truncation in serialized model payloads.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlbench::util {
+
+/// One-shot CRC-32 of a byte buffer.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Incremental form: feed `crc` from the previous call (start at 0).
+std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+}  // namespace dlbench::util

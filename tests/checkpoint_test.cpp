@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "frameworks/registry.hpp"
 #include "nn/checkpoint.hpp"
@@ -103,6 +107,120 @@ TEST(Checkpoint, FileRoundTrip) {
 TEST(Checkpoint, MissingFileThrows) {
   Sequential a = make_model(13);
   EXPECT_THROW(load_checkpoint(a, "/nonexistent/dir/ckpt.bin"),
+               dlbench::Error);
+}
+
+// ---- v2 container hardening ----
+
+// v2 layout: u32 magic, u32 version, u64 payload length, payload,
+// u32 CRC-32 of the payload.
+constexpr std::size_t kHeaderBytes = 16;
+
+std::string serialized(Sequential& model) {
+  std::stringstream buffer;
+  save_checkpoint(model, buffer);
+  return buffer.str();
+}
+
+TEST(CheckpointHardening, SingleFlippedPayloadByteFailsChecksum) {
+  Sequential a = make_model(20);
+  std::string bytes = serialized(a);
+  ASSERT_GT(bytes.size(), kHeaderBytes + 4);
+  bytes[bytes.size() / 2] ^= 0x01;  // one bit, deep in the payload
+
+  Sequential b = make_model(21);
+  std::stringstream corrupt(bytes);
+  try {
+    load_checkpoint(b, corrupt);
+    FAIL() << "corrupt stream must not load";
+  } catch (const dlbench::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointHardening, FlippedCrcTrailerFailsChecksum) {
+  Sequential a = make_model(22);
+  std::string bytes = serialized(a);
+  bytes[bytes.size() - 1] ^= 0xff;  // corrupt the stored CRC itself
+  Sequential b = make_model(23);
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(load_checkpoint(b, corrupt), dlbench::Error);
+}
+
+TEST(CheckpointHardening, TruncatedPayloadReportsTruncation) {
+  Sequential a = make_model(24);
+  std::string bytes = serialized(a);
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 64));
+  Sequential b = make_model(25);
+  try {
+    load_checkpoint(b, truncated);
+    FAIL() << "truncated stream must not load";
+  } catch (const dlbench::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointHardening, ImplausibleLengthHeaderIsRejected) {
+  Sequential a = make_model(26);
+  std::string bytes = serialized(a);
+  // Overwrite the u64 payload-length field (offset 8) with a huge value
+  // so a corrupt header cannot drive a giant allocation.
+  const std::uint64_t huge = 1ull << 40;
+  for (std::size_t i = 0; i < sizeof(huge); ++i)
+    bytes[8 + i] = static_cast<char>(reinterpret_cast<const char*>(&huge)[i]);
+  Sequential b = make_model(27);
+  std::stringstream corrupt(bytes);
+  try {
+    load_checkpoint(b, corrupt);
+    FAIL() << "implausible length must not load";
+  } catch (const dlbench::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointHardening, LegacyV1StreamStillLoads) {
+  Sequential a = make_model(28);
+  // Rebuild the exact v1 container: magic, version=1, bare payload —
+  // no length, no CRC. The payload is version-independent, so it can be
+  // carved out of a v2 save (between the 16-byte header and the 4-byte
+  // CRC trailer).
+  std::string v2 = serialized(a);
+  const std::string payload =
+      v2.substr(kHeaderBytes, v2.size() - kHeaderBytes - 4);
+  std::stringstream v1;
+  const std::uint32_t magic = 0x444c4243;
+  const std::uint32_t version = 1;
+  v1.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  v1.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  v1.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+
+  Sequential b = make_model(29);
+  load_checkpoint(b, v1);
+  auto pa = a.params();
+  auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    for (std::int64_t k = 0; k < pa[i]->numel(); ++k)
+      ASSERT_EQ(pa[i]->at(k), pb[i]->at(k));
+}
+
+TEST(CheckpointHardening, AtomicSaveLeavesNoTempFile) {
+  Sequential a = make_model(30);
+  const std::string path = "/tmp/dlbench_ckpt_atomic_test.bin";
+  save_checkpoint(a, path);
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good())
+      << "temp file must be renamed away";
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointHardening, SaveToMissingDirectoryThrows) {
+  Sequential a = make_model(31);
+  EXPECT_THROW(save_checkpoint(a, "/nonexistent/dir/ckpt.bin"),
                dlbench::Error);
 }
 

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "util/crc32.hpp"
 #include "util/entropy.hpp"
 #include "util/error.hpp"
 #include "util/format.hpp"
@@ -182,6 +185,28 @@ TEST(Entropy, MeanAndStddev) {
   std::vector<float> values = {1.f, 2.f, 3.f, 4.f};
   EXPECT_DOUBLE_EQ(mean(values), 2.5);
   EXPECT_NEAR(stddev(values), std::sqrt(1.25), 1e-9);
+}
+
+TEST(Crc32, MatchesIeee8023KnownAnswers) {
+  // The standard check value for the reflected 0xEDB88320 polynomial
+  // (same algorithm as zlib's crc32()).
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalUpdateEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  std::uint32_t crc = 0;
+  for (char c : data) crc = crc32_update(crc, &c, 1);
+  EXPECT_EQ(crc, crc32(data.data(), data.size()));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string data(256, '\x5a');
+  const std::uint32_t clean = crc32(data.data(), data.size());
+  data[100] ^= 0x04;
+  EXPECT_NE(crc32(data.data(), data.size()), clean);
 }
 
 TEST(Check, ThrowsWithContext) {
