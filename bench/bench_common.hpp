@@ -4,11 +4,14 @@
 
 #include <array>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/paper_values.hpp"
 #include "core/dlbench.hpp"
+#include "runtime/trace.hpp"
 
 namespace dlbench::bench {
 
@@ -16,6 +19,87 @@ using core::Harness;
 using core::RunRecord;
 using frameworks::DatasetId;
 using frameworks::FrameworkKind;
+
+/// Shared session scaffolding for the figure binaries: env-derived
+/// harness options, the banner, an optional binary-wide TraceScope
+/// (--trace-out=/--trace-summary) and a results-JSON sink (--json-out=).
+/// Every cell goes through add(), which prints the one-line summary —
+/// the boilerplate each binary used to hand-roll.
+class BenchSession {
+ public:
+  BenchSession(int argc, char** argv, const std::string& id,
+               const std::string& description)
+      : options_(core::HarnessOptions::from_env()) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_out_ = arg.substr(12);
+      } else if (arg == "--trace-summary") {
+        trace_summary_ = true;
+      } else if (arg.rfind("--json-out=", 0) == 0) {
+        json_out_ = arg.substr(11);
+      } else {
+        std::cerr << "warning: ignoring unknown flag " << arg
+                  << " (known: --trace-out=PATH, --trace-summary, "
+                     "--json-out=PATH)\n";
+      }
+    }
+    core::print_banner(id, description, options_);
+    if ((!trace_out_.empty() || trace_summary_) &&
+        runtime::trace::compiled() && !runtime::trace::enabled()) {
+      runtime::trace::TraceOptions topts;
+      topts.out_path = trace_out_;
+      topts.print_summary = trace_summary_;
+      trace_scope_.emplace(std::move(topts));
+    }
+    harness_.emplace(options_);
+  }
+
+  BenchSession(const BenchSession&) = delete;
+  BenchSession& operator=(const BenchSession&) = delete;
+  ~BenchSession() { flush(); }
+
+  Harness& harness() { return *harness_; }
+  const core::HarnessOptions& options() const { return options_; }
+  const std::vector<RunRecord>& records() const { return records_; }
+
+  /// Registers a finished cell: prints its one-line summary and keeps
+  /// it for the end-of-run JSON. Returns the stored record.
+  const RunRecord& add(RunRecord record) {
+    records_.push_back(std::move(record));
+    std::cout << core::summarize(records_.back()) << "\n";
+    return records_.back();
+  }
+
+  /// Writes --json-out and closes the trace scope (writing --trace-out).
+  /// Idempotent; also runs from the destructor.
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    if (!json_out_.empty() &&
+        core::write_records_json(json_out_, records_)) {
+      std::cout << "\nresults JSON: " << json_out_ << "\n";
+    }
+    if (trace_scope_.has_value()) {
+      trace_scope_.reset();
+      if (!trace_out_.empty())
+        std::cout << "chrome trace: " << trace_out_
+                  << " (open via chrome://tracing or ui.perfetto.dev)\n";
+    }
+  }
+
+ private:
+  core::HarnessOptions options_;
+  std::string trace_out_;
+  std::string json_out_;
+  bool trace_summary_ = false;
+  bool flushed_ = false;
+  // Scope before harness: the harness must see tracing already active
+  // so it does not arm its own per-cell scopes on top.
+  std::optional<runtime::trace::TraceScope> trace_scope_;
+  std::optional<Harness> harness_;
+  std::vector<RunRecord> records_;
+};
 
 /// Prints measured rows next to the published rows and simple shape
 /// checks (who is fastest / most accurate), for one device class.

@@ -6,15 +6,13 @@
 
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlbench;
   using namespace dlbench::bench;
 
-  core::HarnessOptions options = core::HarnessOptions::from_env();
-  core::print_banner("Fig 2 / Table VIIa",
-                     "CIFAR-10 baselines (own defaults), CPU + GPU",
-                     options);
-  Harness harness(options);
+  BenchSession session(argc, argv, "Fig 2 / Table VIIa",
+                       "CIFAR-10 baselines (own defaults), CPU + GPU");
+  Harness& harness = session.harness();
 
   std::vector<RunRecord> cpu_records, gpu_records;
   for (bool gpu : {false, true}) {
@@ -23,8 +21,7 @@ int main() {
     std::vector<RunRecord>& records = gpu ? gpu_records : cpu_records;
     for (FrameworkKind fw : frameworks::kAllFrameworks) {
       records.push_back(
-          harness.run_default(fw, DatasetId::kCifar10, device));
-      std::cout << core::summarize(records.back()) << "\n";
+          session.add(harness.run_default(fw, DatasetId::kCifar10, device)));
     }
     const auto& paper = gpu ? kCifarBaselineGpu : kCifarBaselineCpu;
     print_vs_paper(std::string("Fig 2 — CIFAR-10 baselines (") +

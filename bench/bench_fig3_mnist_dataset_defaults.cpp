@@ -7,15 +7,14 @@
 
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlbench;
   using namespace dlbench::bench;
 
-  core::HarnessOptions options = core::HarnessOptions::from_env();
-  core::print_banner(
-      "Fig 3 / Table VIb",
-      "MNIST under dataset-dependent default settings (GPU)", options);
-  Harness harness(options);
+  BenchSession session(
+      argc, argv, "Fig 3 / Table VIb",
+      "MNIST under dataset-dependent default settings (GPU)");
+  Harness& harness = session.harness();
   const auto device = runtime::Device::gpu();
 
   std::vector<RunRecord> records;
@@ -25,10 +24,9 @@ int main() {
     for (std::size_t s = 0; s < 2; ++s) {
       const DatasetId setting_ds =
           s == 0 ? DatasetId::kMnist : DatasetId::kCifar10;
-      records.push_back(
-          harness.run(fw, fw, setting_ds, DatasetId::kMnist, device));
+      records.push_back(session.add(
+          harness.run(fw, fw, setting_ds, DatasetId::kMnist, device)));
       paper.push_back(kMnistDatasetDependentGpu[f][s]);
-      std::cout << core::summarize(records.back()) << "\n";
     }
   }
   print_vs_paper("Fig 3 — MNIST, own-MNIST vs own-CIFAR-10 settings",

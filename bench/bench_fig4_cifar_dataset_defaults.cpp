@@ -8,15 +8,14 @@
 
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlbench;
   using namespace dlbench::bench;
 
-  core::HarnessOptions options = core::HarnessOptions::from_env();
-  core::print_banner(
-      "Fig 4 / Table VIIb",
-      "CIFAR-10 under dataset-dependent default settings (GPU)", options);
-  Harness harness(options);
+  BenchSession session(
+      argc, argv, "Fig 4 / Table VIIb",
+      "CIFAR-10 under dataset-dependent default settings (GPU)");
+  Harness& harness = session.harness();
   const auto device = runtime::Device::gpu();
 
   std::vector<RunRecord> records;
@@ -26,10 +25,9 @@ int main() {
     for (std::size_t s = 0; s < 2; ++s) {
       const DatasetId setting_ds =
           s == 0 ? DatasetId::kMnist : DatasetId::kCifar10;
-      records.push_back(
-          harness.run(fw, fw, setting_ds, DatasetId::kCifar10, device));
+      records.push_back(session.add(
+          harness.run(fw, fw, setting_ds, DatasetId::kCifar10, device)));
       paper.push_back(kCifarDatasetDependentGpu[f][s]);
-      std::cout << core::summarize(records.back()) << "\n";
     }
   }
   print_vs_paper("Fig 4 — CIFAR-10, own-MNIST vs own-CIFAR-10 settings",

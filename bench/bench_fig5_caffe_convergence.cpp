@@ -7,16 +7,14 @@
 
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlbench;
   using namespace dlbench::bench;
 
-  core::HarnessOptions options = core::HarnessOptions::from_env();
-  core::print_banner("Fig 5",
-                     "Caffe training-loss convergence on CIFAR-10: MNIST "
-                     "vs CIFAR-10 default settings (GPU)",
-                     options);
-  Harness harness(options);
+  BenchSession session(argc, argv, "Fig 5",
+                       "Caffe training-loss convergence on CIFAR-10: MNIST "
+                       "vs CIFAR-10 default settings (GPU)");
+  Harness& harness = session.harness();
   const auto device = runtime::Device::gpu();
 
   auto good = harness.train_model(FrameworkKind::kCaffe,
@@ -40,8 +38,9 @@ int main() {
   }
   std::cout << table << "\n";
 
-  std::cout << core::summarize(good.record) << "\n"
-            << core::summarize(bad.record) << "\n\n";
+  session.add(good.record);
+  session.add(bad.record);
+  std::cout << "\n";
 
   // Robustness report: how the guarded trainer handled each cell —
   // first divergent step (if any), rollback/retry count, final status.

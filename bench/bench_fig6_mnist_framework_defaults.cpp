@@ -6,28 +6,24 @@
 
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlbench;
   using namespace dlbench::bench;
 
-  core::HarnessOptions options = core::HarnessOptions::from_env();
-  core::print_banner(
-      "Fig 6 / Table VIc",
-      "MNIST under framework-dependent default settings (GPU, 3x3 grid)",
-      options);
-  Harness harness(options);
+  BenchSession session(
+      argc, argv, "Fig 6 / Table VIc",
+      "MNIST under framework-dependent default settings (GPU, 3x3 grid)");
+  Harness& harness = session.harness();
   const auto device = runtime::Device::gpu();
 
   std::vector<RunRecord> records;
   std::vector<PaperCell> paper;
   for (std::size_t f = 0; f < 3; ++f) {
     for (std::size_t s = 0; s < 3; ++s) {
-      records.push_back(harness.run(frameworks::kAllFrameworks[f],
-                                    frameworks::kAllFrameworks[s],
-                                    DatasetId::kMnist, DatasetId::kMnist,
-                                    device));
+      records.push_back(session.add(harness.run(
+          frameworks::kAllFrameworks[f], frameworks::kAllFrameworks[s],
+          DatasetId::kMnist, DatasetId::kMnist, device)));
       paper.push_back(kMnistFrameworkDependentGpu[f][s]);
-      std::cout << core::summarize(records.back()) << "\n";
     }
   }
   print_vs_paper("Fig 6 — MNIST, framework x setting grid", records, paper);

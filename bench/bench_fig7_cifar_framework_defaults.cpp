@@ -8,28 +8,24 @@
 
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlbench;
   using namespace dlbench::bench;
 
-  core::HarnessOptions options = core::HarnessOptions::from_env();
-  core::print_banner(
-      "Fig 7 / Table VIIc",
-      "CIFAR-10 under framework-dependent default settings (GPU, 3x3)",
-      options);
-  Harness harness(options);
+  BenchSession session(
+      argc, argv, "Fig 7 / Table VIIc",
+      "CIFAR-10 under framework-dependent default settings (GPU, 3x3)");
+  Harness& harness = session.harness();
   const auto device = runtime::Device::gpu();
 
   std::vector<RunRecord> records;
   std::vector<PaperCell> paper;
   for (std::size_t f = 0; f < 3; ++f) {
     for (std::size_t s = 0; s < 3; ++s) {
-      records.push_back(harness.run(frameworks::kAllFrameworks[f],
-                                    frameworks::kAllFrameworks[s],
-                                    DatasetId::kCifar10,
-                                    DatasetId::kCifar10, device));
+      records.push_back(session.add(harness.run(
+          frameworks::kAllFrameworks[f], frameworks::kAllFrameworks[s],
+          DatasetId::kCifar10, DatasetId::kCifar10, device)));
       paper.push_back(kCifarFrameworkDependentGpu[f][s]);
-      std::cout << core::summarize(records.back()) << "\n";
     }
   }
   print_vs_paper("Fig 7 — CIFAR-10, framework x setting grid", records,

@@ -14,15 +14,14 @@
 #include "adversarial/attacks.hpp"
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlbench;
   using namespace dlbench::bench;
 
-  core::HarnessOptions options = core::HarnessOptions::from_env();
-  core::print_banner("Fig 8", "Untargeted FGSM on TF- and Caffe-trained "
-                              "MNIST models (GPU-trained)",
-                     options);
-  Harness harness(options);
+  BenchSession session(argc, argv, "Fig 8",
+                       "Untargeted FGSM on TF- and Caffe-trained "
+                       "MNIST models (GPU-trained)");
+  Harness& harness = session.harness();
   const auto device = runtime::Device::gpu();
 
   auto tf = harness.train_model(FrameworkKind::kTensorFlow,
@@ -32,8 +31,9 @@ int main() {
   auto caffe = harness.train_model(FrameworkKind::kCaffe,
                                    FrameworkKind::kCaffe, DatasetId::kMnist,
                                    DatasetId::kMnist, device);
-  std::cout << core::summarize(tf.record) << "\n"
-            << core::summarize(caffe.record) << "\n\n";
+  session.add(tf.record);
+  session.add(caffe.record);
+  std::cout << "\n";
 
   // Budget chosen so the success rates land below saturation and the
   // two models differentiate (the paper's scale separates them by

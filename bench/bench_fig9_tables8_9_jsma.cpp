@@ -14,16 +14,14 @@
 #include "adversarial/attacks.hpp"
 #include "bench/bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlbench;
   using namespace dlbench::bench;
 
-  core::HarnessOptions options = core::HarnessOptions::from_env();
-  core::print_banner("Fig 9 / Tables VIII-IX",
-                     "Targeted JSMA: crafting digit 1, four "
-                     "framework(setting) model configurations",
-                     options);
-  Harness harness(options);
+  BenchSession session(argc, argv, "Fig 9 / Tables VIII-IX",
+                       "Targeted JSMA: crafting digit 1, four "
+                       "framework(setting) model configurations");
+  Harness& harness = session.harness();
   const auto device = runtime::Device::gpu();
 
   // The paper's third-layer ablation: TF params keep the wide fc
@@ -66,7 +64,7 @@ int main() {
     auto trained = harness.train_model_with_fc_width(
         cfg.fw, cfg.setting, DatasetId::kMnist, DatasetId::kMnist, device,
         cfg.fc_width);
-    std::cout << core::summarize(trained.record) << "\n";
+    session.add(trained.record);
 
     adversarial::TargetedSweep sweep = adversarial::jsma_sweep(
         trained.model, trained.test, /*source=*/1, attack, ctx,

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the repo with AddressSanitizer + UBSan and runs the suites most
+# likely to surface memory/lifetime bugs: the fault-injection tests
+# (label `fault`) and the numerical gradient/kernel differential tests
+# (label `gradcheck`), which hammer the threaded kernels.
+#
+# Usage: scripts/sanitize_check.sh [build-dir]   (default: build-asan)
+# Equivalent preset: cmake --preset sanitize && cmake --build --preset sanitize
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+SANITIZERS="${DLBENCH_SANITIZE:-address,undefined}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDLBENCH_SANITIZE="$SANITIZERS"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck' --output-on-failure -j "$(nproc)"

@@ -1,5 +1,6 @@
 #include "core/harness.hpp"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "data/synthetic.hpp"
@@ -13,6 +14,32 @@ std::int64_t env_int64(const char* name, std::int64_t fallback) {
   const char* raw = std::getenv(name);
   if (!raw || !*raw) return fallback;
   return std::strtoll(raw, nullptr, 10);
+}
+
+// "Caffe/TF MNIST/mnist/CPU" -> "caffe_tf_mnist_mnist_cpu": filesystem-
+// safe cell tag for per-cell trace output paths.
+std::string sanitize_cell_tag(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)))
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    else if (!out.empty() && out.back() != '_')
+      out += '_';
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+// Inserts the cell tag before the extension: trace.json ->
+// trace.caffe_mnist_cpu.json, so a sweep's cells do not clobber each
+// other's chrome traces.
+std::string per_cell_path(const std::string& base, const std::string& tag) {
+  const auto slash = base.find_last_of('/');
+  const auto dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return base + "." + tag;
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
 }
 
 }  // namespace
@@ -149,6 +176,26 @@ Harness::TrainedModel Harness::train_model_with_fc_width(
   out.record.setting = config.label;
   out.record.dataset = train.name;
   out.record.device = device.name();
+  // Env-armed per-cell tracing (DLB_TRACE=1): each cell gets its own
+  // scope so its report lands in the record and its chrome trace (when
+  // DLB_TRACE_OUT is set) in a per-cell file. Skipped when the caller
+  // already owns a scope (e.g. a bench binary tracing a whole sweep).
+  std::optional<runtime::trace::TraceScope> cell_trace;
+  {
+    runtime::trace::TraceOptions trace_opts =
+        runtime::trace::TraceOptions::from_env();
+    if (trace_opts.armed && runtime::trace::compiled() &&
+        !runtime::trace::enabled()) {
+      if (!trace_opts.out_path.empty()) {
+        const std::string tag = sanitize_cell_tag(
+            out.record.framework + "_" + out.record.setting + "_" +
+            out.record.dataset + "_" + out.record.device);
+        trace_opts.out_path = per_cell_path(trace_opts.out_path, tag);
+      }
+      cell_trace.emplace(std::move(trace_opts));
+    }
+  }
+
   // Guarded execution: a cell whose train/eval throws is returned as a
   // failed record (with the trainer's divergence/recovery stats intact)
   // instead of killing the sweep that requested it.
@@ -159,6 +206,10 @@ Harness::TrainedModel Harness::train_model_with_fc_width(
     out.record.eval = framework->evaluate(out.model, test, device);
   } catch (const dlbench::Error& e) {
     out.record.error = e.what();
+  }
+  if (cell_trace) {
+    out.record.trace = cell_trace->report();
+    cell_trace.reset();  // deactivate; writes the chrome JSON if requested
   }
   out.test = std::move(test);
   return out;

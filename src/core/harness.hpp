@@ -17,6 +17,7 @@
 #include "frameworks/framework.hpp"
 #include "frameworks/registry.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/trace.hpp"
 
 namespace dlbench::core {
 
@@ -75,6 +76,9 @@ struct RunRecord {
   /// A failed cell is reported, not rethrown, so one bad cell cannot
   /// abort a whole figure sweep.
   std::string error;
+  /// Per-cell metric summary, populated when the harness armed tracing
+  /// for this cell (DLB_TRACE=1 and no caller-owned TraceScope).
+  runtime::trace::TraceReport trace;
 
   bool failed() const { return !error.empty(); }
 };

@@ -1,11 +1,68 @@
 #include "core/report.hpp"
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "util/format.hpp"
 
 namespace dlbench::core {
+
+namespace {
+
+// Shortest round-trippable representation; always a valid JSON number.
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", ch);
+          out += hex;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+const char* boolean(bool b) { return b ? "true" : "false"; }
+
+void append_trace_json(std::ostream& os,
+                       const runtime::trace::TraceReport& trace) {
+  os << "{\"spans\":[";
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const auto& s = trace.spans[i];
+    os << (i ? "," : "") << "{\"name\":" << quoted(s.name)
+       << ",\"category\":" << quoted(s.category) << ",\"count\":" << s.count
+       << ",\"total_s\":" << num(s.total_s) << ",\"min_s\":" << num(s.min_s)
+       << ",\"max_s\":" << num(s.max_s) << "}";
+  }
+  os << "],\"counters\":[";
+  for (std::size_t i = 0; i < trace.counters.size(); ++i) {
+    const auto& c = trace.counters[i];
+    os << (i ? "," : "") << "{\"name\":" << quoted(c.name)
+       << ",\"value\":" << c.value << ",\"peak\":" << c.peak
+       << ",\"samples\":" << c.samples << "}";
+  }
+  os << "],\"dropped_events\":" << trace.dropped_events << "}";
+}
+
+}  // namespace
 
 std::string run_status(const RunRecord& r) {
   if (r.failed()) return "ERROR";
@@ -85,6 +142,64 @@ void print_banner(const std::string& experiment_id,
             << "note: absolute numbers are bench-scale; compare shapes\n"
             << "      (ordering, ratios) against the paper values shown.\n"
             << "==========================================================\n";
+}
+
+std::string record_json(const RunRecord& r) {
+  std::ostringstream os;
+  os << "{\"framework\":" << quoted(r.framework)
+     << ",\"setting\":" << quoted(r.setting)
+     << ",\"dataset\":" << quoted(r.dataset)
+     << ",\"device\":" << quoted(r.device)
+     << ",\"error\":" << quoted(r.error);
+  const auto& t = r.train;
+  os << ",\"train\":{\"train_time_s\":" << num(t.train_time_s)
+     << ",\"steps\":" << t.steps << ",\"epochs_run\":" << num(t.epochs_run)
+     << ",\"final_loss\":" << num(t.final_loss)
+     << ",\"converged\":" << boolean(t.converged)
+     << ",\"divergence_step\":" << t.divergence_step
+     << ",\"recovery_attempts\":" << t.recovery_attempts
+     << ",\"diverged\":" << boolean(t.diverged)
+     << ",\"timed_out\":" << boolean(t.timed_out)
+     << ",\"phases\":{\"data_s\":" << num(t.phases.data_s)
+     << ",\"forward_s\":" << num(t.phases.forward_s)
+     << ",\"backward_s\":" << num(t.phases.backward_s)
+     << ",\"optimizer_s\":" << num(t.phases.optimizer_s)
+     << ",\"guard_s\":" << num(t.phases.guard_s) << "}"
+     << ",\"loss_curve\":[";
+  for (std::size_t i = 0; i < t.loss_curve.size(); ++i)
+    os << (i ? "," : "") << "[" << t.loss_curve[i].first << ","
+       << num(t.loss_curve[i].second) << "]";
+  os << "]}";
+  os << ",\"eval\":{\"test_time_s\":" << num(r.eval.test_time_s)
+     << ",\"accuracy_pct\":" << num(r.eval.accuracy_pct)
+     << ",\"correct\":" << r.eval.correct << ",\"total\":" << r.eval.total
+     << "}";
+  if (!r.trace.empty()) {
+    os << ",\"trace\":";
+    append_trace_json(os, r.trace);
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string records_json(const std::vector<RunRecord>& records) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    os << (i ? ",\n " : "\n ") << record_json(records[i]);
+  os << "\n]\n";
+  return os.str();
+}
+
+bool write_records_json(const std::string& path,
+                        const std::vector<RunRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << records_json(records);
+  return out.good();
 }
 
 util::Table comparison_table(const std::string& title,

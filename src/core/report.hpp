@@ -40,4 +40,18 @@ struct PaperComparison {
 util::Table comparison_table(const std::string& title,
                              const std::vector<PaperComparison>& rows);
 
+/// One record as a JSON object: identity + train (with the per-phase
+/// time breakdown and loss curve) + eval + the trace summary when the
+/// record carries one.
+std::string record_json(const RunRecord& record);
+
+/// All records as a JSON array.
+std::string records_json(const std::vector<RunRecord>& records);
+
+/// Writes records_json(records) to `path`; returns false (after
+/// printing a warning) on filesystem errors rather than throwing, so a
+/// finished sweep is never lost to a bad output path.
+bool write_records_json(const std::string& path,
+                        const std::vector<RunRecord>& records);
+
 }  // namespace dlbench::core

@@ -1,17 +1,25 @@
 #include "frameworks/framework.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <span>
 
 #include "runtime/fault.hpp"
 #include "runtime/stopwatch.hpp"
+#include "runtime/trace.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::frameworks {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double secs_between(SteadyClock::time_point a, SteadyClock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
 
 std::int64_t env_i64(const char* name, std::int64_t fallback) {
   const char* raw = std::getenv(name);
@@ -134,6 +142,15 @@ TrainResult Framework::train(nn::Sequential& model,
   if (recovery_enabled) snapshot = clone_params(model);
   double lr_scale = 1.0;
 
+  // Timed batch fetch, attributed to the data phase.
+  auto next_batch = [&](data::Batch& b) {
+    runtime::trace::Span span("data.next_batch", "data");
+    const auto t0 = SteadyClock::now();
+    const bool ok = loader.next(b);
+    result.phases.data_s += secs_between(t0, SteadyClock::now());
+    return ok;
+  };
+
   std::int64_t step = 0;
   bool aborted = false;
   data::Batch batch;
@@ -141,17 +158,23 @@ TrainResult Framework::train(nn::Sequential& model,
     const std::int64_t step_at_epoch_start = step;
     bool rolled_back = false;
     loader.start_epoch();
-    while (step < total_steps && loader.next(batch)) {
+    while (step < total_steps && next_batch(batch)) {
       if (watchdog.expired()) {
         result.timed_out = true;
         aborted = true;
         break;
       }
       runtime::fault::maybe_stall_step(step);
+      runtime::trace::Span step_span("train.step", "train");
 
       model.zero_grads();
+      const auto t_fwd = SteadyClock::now();
       nn::LossResult loss = model.forward_loss(batch.images, batch.labels, ctx);
+      const auto t_bwd = SteadyClock::now();
+      result.phases.forward_s += secs_between(t_fwd, t_bwd);
       model.backward(loss, batch.labels, ctx);
+      const auto t_guard = SteadyClock::now();
+      result.phases.backward_s += secs_between(t_bwd, t_guard);
 
       if (runtime::fault::enabled()) {
         std::vector<std::span<float>> grad_spans;
@@ -171,25 +194,34 @@ TrainResult Framework::train(nn::Sequential& model,
             result.recovery_attempts >= guard.max_recoveries) {
           result.diverged = true;
           aborted = true;
-          break;
+        } else {
+          // Bounded recovery: roll back to the snapshot, back off the
+          // learning rate, and retry from there with a fresh optimizer.
+          ++result.recovery_attempts;
+          runtime::trace::counter_add("train.rollbacks", 1);
+          restore_params(model, snapshot);
+          model.zero_grads();
+          lr_scale *= guard.lr_backoff;
+          optimizer = make_optimizer(scale_learning_rate(config, lr_scale),
+                                     steps_per_epoch, total_steps);
+          while (!result.loss_curve.empty() &&
+                 result.loss_curve.back().first >= snapshot_step)
+            result.loss_curve.pop_back();
+          step = snapshot_step;
+          rolled_back = true;  // restart from a fresh epoch at the snapshot
         }
-        // Bounded recovery: roll back to the snapshot, back off the
-        // learning rate, and retry from there with a fresh optimizer.
-        ++result.recovery_attempts;
-        restore_params(model, snapshot);
-        model.zero_grads();
-        lr_scale *= guard.lr_backoff;
-        optimizer = make_optimizer(scale_learning_rate(config, lr_scale),
-                                   steps_per_epoch, total_steps);
-        while (!result.loss_curve.empty() &&
-               result.loss_curve.back().first >= snapshot_step)
-          result.loss_curve.pop_back();
-        step = snapshot_step;
-        rolled_back = true;
-        break;  // restart from a fresh epoch at the snapshot step
+        result.phases.guard_s += secs_between(t_guard, SteadyClock::now());
+        break;
       }
+      result.phases.guard_s += secs_between(t_guard, SteadyClock::now());
 
-      optimizer->step(model.params(), model.grads(), step, device);
+      const auto t_opt = SteadyClock::now();
+      {
+        runtime::trace::Span span("optim.step", "optim");
+        optimizer->step(model.params(), model.grads(), step, device);
+      }
+      result.phases.optimizer_s += secs_between(t_opt, SteadyClock::now());
+      runtime::trace::counter_add("optim.steps", 1);
 
       if (step % options.loss_record_interval == 0 ||
           step + 1 == total_steps) {
@@ -200,8 +232,11 @@ TrainResult Framework::train(nn::Sequential& model,
 
       if (recovery_enabled && guard.snapshot_interval > 0 &&
           step % guard.snapshot_interval == 0) {
+        runtime::trace::Span span("train.snapshot", "train");
+        const auto t_snap = SteadyClock::now();
         snapshot = clone_params(model);
         snapshot_step = step;
+        result.phases.guard_s += secs_between(t_snap, SteadyClock::now());
       }
     }
     // Data starvation (e.g. every sample of an epoch dropped by an
@@ -245,6 +280,7 @@ EvalResult Framework::evaluate(nn::Sequential& model,
   runtime::Stopwatch clock;
   data::Batch batch;
   while (loader.next(batch)) {
+    runtime::trace::Span span("eval.batch", "eval");
     const auto predictions = model.predict(batch.images, ctx);
     for (std::size_t i = 0; i < predictions.size(); ++i)
       if (predictions[i] == batch.labels[i]) ++result.correct;

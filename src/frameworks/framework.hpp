@@ -73,6 +73,22 @@ struct TrainOptions {
   GuardOptions guard;
 };
 
+/// Wall-clock decomposition of one training run. Measured
+/// unconditionally (a few steady-clock reads per step, far below the
+/// noise floor); phase times sum to slightly less than train_time_s
+/// because session prepare and loop bookkeeping are unattributed.
+struct PhaseBreakdown {
+  double data_s = 0.0;       // loader/batch assembly
+  double forward_s = 0.0;    // forward pass + loss head
+  double backward_s = 0.0;   // backpropagation
+  double optimizer_s = 0.0;  // parameter updates
+  double guard_s = 0.0;      // divergence checks, snapshots, rollbacks
+
+  double total() const {
+    return data_s + forward_s + backward_s + optimizer_s + guard_s;
+  }
+};
+
 /// Outcome of a training run (Figures 1–7 left panels + Figure 5).
 struct TrainResult {
   double train_time_s = 0.0;
@@ -94,6 +110,8 @@ struct TrainResult {
   bool diverged = false;
   /// True when the watchdog expired before the step budget completed.
   bool timed_out = false;
+  /// Where the wall clock went, by training phase.
+  PhaseBreakdown phases;
 };
 
 /// Outcome of an evaluation run (middle/right panels).

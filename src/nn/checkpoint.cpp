@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "runtime/fault.hpp"
+#include "runtime/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 
@@ -101,6 +102,7 @@ void load_payload(Sequential& model, std::istream& in) {
 }  // namespace
 
 void save_checkpoint(Sequential& model, std::ostream& out) {
+  runtime::trace::Span span("checkpoint.save", "io");
   const std::string payload = serialize_payload(model);
   std::ostringstream container(std::ios::binary);
   write_u32(container, kMagic);
@@ -136,6 +138,7 @@ void save_checkpoint(Sequential& model, const std::string& path) {
 }
 
 void load_checkpoint(Sequential& model, std::istream& in) {
+  runtime::trace::Span span("checkpoint.load", "io");
   DLB_CHECK(read_u32(in) == kMagic, "not a dlbench checkpoint");
   const std::uint32_t version = read_u32(in);
   if (version == kLegacyVersion) {

@@ -2,10 +2,22 @@
 
 #include <sstream>
 
+#include "runtime/trace.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::nn {
+
+namespace {
+
+// "Conv2d(1->20, k5)" -> "Conv2d": span names stay short and stable
+// across hyperparameter choices.
+std::string layer_type_name(const std::string& description) {
+  const auto paren = description.find('(');
+  return paren == std::string::npos ? description : description.substr(0, paren);
+}
+
+}  // namespace
 
 Sequential::Sequential(std::vector<LayerPtr> layers)
     : layers_(std::move(layers)) {}
@@ -15,10 +27,27 @@ void Sequential::add(LayerPtr layer) {
   layers_.push_back(std::move(layer));
 }
 
+void Sequential::ensure_trace_labels() {
+  if (fwd_labels_.size() == layers_.size()) return;
+  fwd_labels_.clear();
+  bwd_labels_.clear();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::string type = layer_type_name(layers_[i]->describe());
+    const std::string tag = std::to_string(i) + "." + type;
+    fwd_labels_.push_back(runtime::trace::intern("fwd/" + tag));
+    bwd_labels_.push_back(runtime::trace::intern("bwd/" + tag));
+  }
+}
+
 Tensor Sequential::forward(const Tensor& x, const Context& ctx) {
   DLB_CHECK(!layers_.empty(), "empty model");
+  const bool traced = runtime::trace::enabled();
+  if (traced) ensure_trace_labels();
   Tensor h = x;
-  for (auto& layer : layers_) h = layer->forward(h, ctx);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    runtime::trace::Span span(traced ? fwd_labels_[i] : nullptr, "layer");
+    h = layers_[i]->forward(h, ctx);
+  }
   return h;
 }
 
@@ -27,6 +56,7 @@ LossResult Sequential::forward_loss(const Tensor& x,
                                     const Context& ctx) {
   LossResult r;
   r.logits = forward(x, ctx);
+  runtime::trace::Span span("fwd/loss-head", "layer");
   r.probabilities = tensor::softmax_rows(r.logits, ctx.device);
   r.loss = tensor::cross_entropy_mean(r.probabilities, labels);
   return r;
@@ -35,17 +65,25 @@ LossResult Sequential::forward_loss(const Tensor& x,
 Tensor Sequential::backward(const LossResult& result,
                             const std::vector<std::int64_t>& labels,
                             const Context& ctx) {
-  Tensor grad = tensor::softmax_cross_entropy_backward(result.probabilities,
-                                                       labels, ctx.device);
+  Tensor grad;
+  {
+    runtime::trace::Span span("bwd/loss-head", "layer");
+    grad = tensor::softmax_cross_entropy_backward(result.probabilities, labels,
+                                                  ctx.device);
+  }
   return backward_from_logits(grad, ctx);
 }
 
 Tensor Sequential::backward_from_logits(const Tensor& dlogits,
                                         const Context& ctx) {
   DLB_CHECK(!layers_.empty(), "empty model");
+  const bool traced = runtime::trace::enabled();
+  if (traced) ensure_trace_labels();
   Tensor g = dlogits;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    g = (*it)->backward(g, ctx);
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    runtime::trace::Span span(traced ? bwd_labels_[i] : nullptr, "layer");
+    g = layers_[i]->backward(g, ctx);
+  }
   return g;
 }
 

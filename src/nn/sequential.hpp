@@ -65,7 +65,13 @@ class Sequential {
   std::string describe() const;
 
  private:
+  /// Lazily interns per-layer span labels ("fwd/<i>.<Type>", ...) the
+  /// first time tracing is observed enabled. Rebuilt if layers change.
+  void ensure_trace_labels();
+
   std::vector<LayerPtr> layers_;
+  std::vector<const char*> fwd_labels_;
+  std::vector<const char*> bwd_labels_;
 };
 
 }  // namespace dlbench::nn

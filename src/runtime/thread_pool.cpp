@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "runtime/fault.hpp"
+#include "runtime/trace.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::runtime {
@@ -41,10 +42,16 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
+    depth = tasks_.size();
   }
+  // Recorded from the submitting thread only: workers may still be
+  // draining the queue after a TraceScope on the caller's side ends.
+  trace::counter_add("pool.tasks", 1);
+  trace::gauge_record("pool.queue_depth", static_cast<std::int64_t>(depth));
   cv_.notify_one();
 }
 

@@ -1,9 +1,12 @@
 #include "tensor/conv.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "runtime/trace.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::tensor {
@@ -86,6 +89,7 @@ void check_conv_args(const Tensor& x, const Tensor& weight,
 Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
                       const Tensor& bias, const ConvGeom& g,
                       const Device& dev) {
+  runtime::trace::Span span("conv2d_fwd", "kernel");
   check_conv_args(x, weight, bias, g);
   const std::int64_t n = x.dim(0);
   const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
@@ -181,6 +185,7 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
 ConvGrads conv2d_backward(const Tensor& x, const Tensor& weight,
                           const Tensor& dy, const ConvGeom& g,
                           const Device& dev) {
+  runtime::trace::Span span("conv2d_bwd", "kernel");
   const std::int64_t n = x.dim(0);
   const std::int64_t oh = g.out_h(), ow = g.out_w(), ohw = oh * ow;
   const std::int64_t patch = g.patch_size();
@@ -196,7 +201,12 @@ ConvGrads conv2d_backward(const Tensor& x, const Tensor& weight,
   const std::int64_t in_sz = g.in_c * g.in_h * g.in_w;
   const std::int64_t out_sz = g.out_c * ohw;
 
+  // Per-chunk weight/bias partials, merged serially in chunk order after
+  // the parallel region: float accumulation order is then a function of
+  // the chunking alone, not of thread completion order, so an N-thread
+  // run is bit-reproducible run to run.
   std::mutex reduce_mu;
+  std::vector<std::pair<std::size_t, std::vector<float>>> partials;
 
   dev.parallel_for(
       static_cast<std::size_t>(n),
@@ -267,13 +277,24 @@ ConvGrads conv2d_backward(const Tensor& x, const Tensor& weight,
                  pdx + static_cast<std::int64_t>(i) * in_sz);
         }
 
+        // Pack dW then db into one buffer keyed by the chunk's first
+        // sample index; merged below in key order.
+        local_dw.insert(local_dw.end(), local_db.begin(), local_db.end());
         std::lock_guard<std::mutex> lock(reduce_mu);
-        float* gw = grads.dweight.raw();
-        float* gb = grads.dbias.raw();
-        for (std::size_t k = 0; k < local_dw.size(); ++k) gw[k] += local_dw[k];
-        for (std::size_t k = 0; k < local_db.size(); ++k) gb[k] += local_db[k];
+        partials.emplace_back(lo, std::move(local_dw));
       },
       1);
+
+  std::sort(partials.begin(), partials.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  float* gw = grads.dweight.raw();
+  float* gb = grads.dbias.raw();
+  const std::size_t dw_size = static_cast<std::size_t>(g.out_c * patch);
+  for (const auto& [lo, local] : partials) {
+    for (std::size_t k = 0; k < dw_size; ++k) gw[k] += local[k];
+    for (std::size_t k = 0; k < static_cast<std::size_t>(g.out_c); ++k)
+      gb[k] += local[dw_size + k];
+  }
   return grads;
 }
 

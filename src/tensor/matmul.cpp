@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "runtime/trace.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::tensor {
@@ -63,6 +64,7 @@ void gemm_rows(const float* a, const float* b, float* c, std::int64_t M,
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b, const Device& dev) {
+  runtime::trace::Span span("matmul", "kernel");
   DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
             "matmul expects rank-2 operands");
   const std::int64_t M = a.dim(0), K = a.dim(1);
@@ -74,6 +76,7 @@ Tensor matmul(const Tensor& a, const Tensor& b, const Device& dev) {
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b, const Device& dev) {
+  runtime::trace::Span span("matmul_tn", "kernel");
   // a is stored [K, M]; compute C[M, N] = sum_k a[k, m] * b[k, n].
   DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
             "matmul_tn expects rank-2 operands");
@@ -103,6 +106,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b, const Device& dev) {
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b, const Device& dev) {
+  runtime::trace::Span span("matmul_nt", "kernel");
   // b is stored [N, K]; compute C[M, N] = sum_k a[m, k] * b[n, k].
   DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
             "matmul_nt expects rank-2 operands");

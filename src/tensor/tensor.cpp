@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "runtime/trace.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::tensor {
@@ -12,6 +13,9 @@ namespace dlbench::tensor {
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   const auto n = static_cast<std::size_t>(shape_.numel());
   data_ = std::shared_ptr<float[]>(new float[n]());
+  runtime::trace::counter_add("tensor.allocs", 1);
+  runtime::trace::counter_add("tensor.bytes",
+                              static_cast<std::int64_t>(n * sizeof(float)));
 }
 
 Tensor::Tensor(Shape shape, float value) : Tensor(std::move(shape)) {

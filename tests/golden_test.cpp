@@ -1,0 +1,131 @@
+// Golden regression tests: one tiny MNIST cell per emulated framework,
+// trained serially (Device::cpu()) so results are machine- and
+// thread-count-independent, compared against recorded accuracy/loss
+// bands. The bands are tight enough to catch a 1e-2 (one percentage
+// point / 1e-2 loss) perturbation — the meta test below proves it with
+// injected offsets — while leaving headroom for benign toolchain noise.
+//
+// To re-record after an intentional numerics change:
+//   DLB_GOLDEN_RECORD=1 ./build/tests/golden_test
+// and paste the printed table over kGolden.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/harness.hpp"
+#include "runtime/device.hpp"
+
+namespace dlbench::core {
+namespace {
+
+using frameworks::FrameworkKind;
+
+constexpr double kAccuracyBandPp = 0.75;  // percentage points
+constexpr double kLossBand = 5e-3;
+
+struct GoldenCell {
+  FrameworkKind fw;
+  const char* name;
+  double accuracy_pct;
+  double final_loss;
+};
+
+// Recorded from a DLB_GOLDEN_RECORD=1 run at HarnessOptions::test_profile()
+// on Device::cpu(); see header comment.
+const GoldenCell kGolden[] = {
+    {FrameworkKind::kTensorFlow, "TF", 42.0000, 2.044806},
+    {FrameworkKind::kCaffe, "Caffe", 99.0000, 0.111801},
+    {FrameworkKind::kTorch, "Torch", 100.0000, 0.079914},
+};
+
+bool recording() { return std::getenv("DLB_GOLDEN_RECORD") != nullptr; }
+
+bool within_band(double value, double golden, double band) {
+  return std::abs(value - golden) <= band;
+}
+
+// Each cell is trained once per process and shared across tests.
+const RunRecord& cell(FrameworkKind fw) {
+  static std::map<FrameworkKind, RunRecord> cache;
+  auto it = cache.find(fw);
+  if (it == cache.end()) {
+    static Harness harness(HarnessOptions::test_profile());
+    it = cache
+             .emplace(fw, harness.run_default(fw, frameworks::DatasetId::kMnist,
+                                              Device::cpu()))
+             .first;
+  }
+  return it->second;
+}
+
+class GoldenTest : public ::testing::TestWithParam<GoldenCell> {};
+
+TEST_P(GoldenTest, MnistCellMatchesRecordedBands) {
+  const GoldenCell& g = GetParam();
+  const RunRecord& rec = cell(g.fw);
+  ASSERT_FALSE(rec.failed()) << rec.error;
+  ASSERT_TRUE(rec.train.converged) << g.name;
+  if (recording()) {
+    std::printf("    {FrameworkKind::k%s, \"%s\", %.4f, %.6f},\n",
+                g.fw == FrameworkKind::kTensorFlow
+                    ? "TensorFlow"
+                    : (g.fw == FrameworkKind::kCaffe ? "Caffe" : "Torch"),
+                g.name, rec.eval.accuracy_pct, rec.train.final_loss);
+    GTEST_SKIP() << "recording goldens, not asserting";
+  }
+  EXPECT_TRUE(within_band(rec.eval.accuracy_pct, g.accuracy_pct,
+                          kAccuracyBandPp))
+      << g.name << " accuracy " << rec.eval.accuracy_pct
+      << " outside golden band " << g.accuracy_pct << " +- "
+      << kAccuracyBandPp;
+  EXPECT_TRUE(within_band(rec.train.final_loss, g.final_loss, kLossBand))
+      << g.name << " final loss " << rec.train.final_loss
+      << " outside golden band " << g.final_loss << " +- " << kLossBand;
+}
+
+// The bands must reject an injected 1e-2 perturbation (one percentage
+// point of accuracy; 1e-2 of loss) in either direction — i.e. this
+// suite would catch a regression of that size, the acceptance bar.
+TEST_P(GoldenTest, BandsCatchInjectedPerturbation) {
+  const GoldenCell& g = GetParam();
+  const RunRecord& rec = cell(g.fw);
+  ASSERT_FALSE(rec.failed()) << rec.error;
+  if (recording()) GTEST_SKIP() << "recording goldens, not asserting";
+  for (const double sign : {+1.0, -1.0}) {
+    EXPECT_FALSE(within_band(rec.eval.accuracy_pct + sign * 1.0,
+                             g.accuracy_pct, kAccuracyBandPp))
+        << g.name << " band misses a " << sign << "pp accuracy shift";
+    EXPECT_FALSE(within_band(rec.train.final_loss + sign * 1e-2,
+                             g.final_loss, kLossBand))
+        << g.name << " band misses a " << sign << "*1e-2 loss shift";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frameworks, GoldenTest, ::testing::ValuesIn(kGolden),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
+                         });
+
+// Serial training at a fixed seed is fully deterministic: the same cell
+// run twice yields bitwise-identical accuracy and loss. This is what
+// makes tight golden bands tenable at all.
+TEST(GoldenDeterminismTest, RepeatedCellIsBitwiseIdentical) {
+  Harness harness(HarnessOptions::test_profile());
+  const RunRecord a = harness.run_default(
+      FrameworkKind::kCaffe, frameworks::DatasetId::kMnist, Device::cpu());
+  const RunRecord b = harness.run_default(
+      FrameworkKind::kCaffe, frameworks::DatasetId::kMnist, Device::cpu());
+  ASSERT_FALSE(a.failed()) << a.error;
+  ASSERT_FALSE(b.failed()) << b.error;
+  EXPECT_EQ(a.eval.accuracy_pct, b.eval.accuracy_pct);
+  EXPECT_EQ(a.eval.correct, b.eval.correct);
+  EXPECT_EQ(a.train.final_loss, b.train.final_loss);
+  EXPECT_EQ(a.train.steps, b.train.steps);
+}
+
+}  // namespace
+}  // namespace dlbench::core

@@ -1,0 +1,436 @@
+// Numerical gradient checks: every layer's backward() against central
+// finite differences of its forward(), plus both loss paths (the fused
+// softmax cross-entropy head and the raw-logit path the adversarial
+// module uses), over randomized shapes and seeds.
+//
+// Method: with a fixed random weighting W, define the scalar objective
+//   L(x, params) = sum_i W_i * f(x; params)_i.
+// Then dL/dx = backward(W) and dL/dparam lands in the layer's grad
+// buffers, while numeric derivatives come from (L(v+eps) - L(v-eps)) /
+// (2 eps) on sampled coordinates. Accumulation is in double; forward
+// remains float, which bounds the achievable agreement and sets the
+// tolerances below.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/conv_direct.hpp"
+#include "nn/layers.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace dlbench::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct CheckTolerance {
+  double eps = 1e-2;
+  double atol = 2e-3;
+  double rtol = 2e-2;
+};
+
+// Deterministic sample of up to `cap` distinct flat indices.
+std::vector<std::int64_t> sample_indices(std::int64_t numel, std::size_t cap,
+                                         util::Rng& rng) {
+  std::vector<std::int64_t> all(static_cast<std::size_t>(numel));
+  for (std::int64_t i = 0; i < numel; ++i)
+    all[static_cast<std::size_t>(i)] = i;
+  if (all.size() <= cap) return all;
+  // Partial Fisher-Yates: the first `cap` entries become the sample.
+  for (std::size_t i = 0; i < cap; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_index(all.size() - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(cap);
+  return all;
+}
+
+// L = sum(W . layer.forward(x)). A fresh dropout rng per call keeps the
+// mask identical across the +eps/-eps evaluations.
+double objective(Layer& layer, const Tensor& x, const Tensor& weighting,
+                 bool training, std::uint64_t mask_seed) {
+  util::Rng mask_rng(mask_seed);
+  Context ctx;
+  ctx.training = training;
+  ctx.rng = &mask_rng;
+  Tensor y = layer.forward(x, ctx);
+  EXPECT_EQ(y.numel(), weighting.numel());
+  double acc = 0.0;
+  auto yd = y.data();
+  auto wd = weighting.data();
+  for (std::size_t i = 0; i < yd.size(); ++i)
+    acc += static_cast<double>(yd[i]) * static_cast<double>(wd[i]);
+  return acc;
+}
+
+void expect_grad_near(double analytic, double numeric,
+                      const CheckTolerance& tol, const std::string& what,
+                      std::int64_t index) {
+  const double bound =
+      tol.atol + tol.rtol * std::max(std::abs(analytic), std::abs(numeric));
+  EXPECT_NEAR(analytic, numeric, bound)
+      << what << " gradient mismatch at flat index " << index;
+}
+
+// Full check of one layer: dL/dx against backward()'s return and
+// dL/dparam against the layer's grad buffers.
+void gradcheck_layer(Layer& layer, Tensor& x, std::uint64_t seed,
+                     const CheckTolerance& tol, bool training = false) {
+  util::Rng rng(seed ^ 0xabcdef);
+  const std::uint64_t mask_seed = seed * 7919 + 13;
+
+  // Probe forward once for the output shape, then fix the weighting.
+  Tensor probe;
+  {
+    util::Rng mask_rng(mask_seed);
+    Context ctx;
+    ctx.training = training;
+    ctx.rng = &mask_rng;
+    probe = layer.forward(x, ctx);
+  }
+  Tensor weighting = Tensor::rand_uniform(probe.shape(), rng, -1.f, 1.f);
+
+  // Analytic gradients: one forward (same mask) + one backward.
+  layer.zero_grads();
+  Tensor dx;
+  {
+    util::Rng mask_rng(mask_seed);
+    Context ctx;
+    ctx.training = training;
+    ctx.rng = &mask_rng;
+    layer.forward(x, ctx);
+    dx = layer.backward(weighting, ctx);
+  }
+  ASSERT_EQ(dx.shape(), x.shape());
+
+  // Input gradient.
+  for (const std::int64_t i : sample_indices(x.numel(), 32, rng)) {
+    const float saved = x.at(i);
+    x.at(i) = saved + static_cast<float>(tol.eps);
+    const double up = objective(layer, x, weighting, training, mask_seed);
+    x.at(i) = saved - static_cast<float>(tol.eps);
+    const double down = objective(layer, x, weighting, training, mask_seed);
+    x.at(i) = saved;
+    const double numeric = (up - down) / (2.0 * tol.eps);
+    expect_grad_near(dx.at(i), numeric, tol, layer.describe() + " input", i);
+  }
+
+  // Parameter gradients.
+  const auto params = layer.params();
+  const auto grads = layer.grads();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor& param = *params[p];
+    for (const std::int64_t i : sample_indices(param.numel(), 24, rng)) {
+      const float saved = param.at(i);
+      param.at(i) = saved + static_cast<float>(tol.eps);
+      const double up = objective(layer, x, weighting, training, mask_seed);
+      param.at(i) = saved - static_cast<float>(tol.eps);
+      const double down = objective(layer, x, weighting, training, mask_seed);
+      param.at(i) = saved;
+      const double numeric = (up - down) / (2.0 * tol.eps);
+      expect_grad_near(grads[p]->at(i), numeric, tol,
+                       layer.describe() + " param" + std::to_string(p), i);
+    }
+  }
+}
+
+// Inputs with |v| >= margin, so +-eps perturbations cannot cross the
+// ReLU kink at zero.
+Tensor away_from_zero(Shape shape, util::Rng& rng, float margin) {
+  Tensor x = Tensor::randn(std::move(shape), rng);
+  for (auto& v : x.data()) {
+    if (v >= 0.f && v < margin) v += margin;
+    if (v < 0.f && v > -margin) v -= margin;
+  }
+  return x;
+}
+
+// Distinct, evenly spaced values in shuffled order: every pooling
+// window has a unique max with a gap far larger than 2*eps, so the
+// argmax cannot flip under perturbation.
+Tensor distinct_values(Shape shape, util::Rng& rng) {
+  Tensor x(std::move(shape));
+  auto d = x.data();
+  std::vector<float> vals(d.size());
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    vals[i] = (static_cast<float>(i) -
+               static_cast<float>(vals.size()) * 0.5f) *
+              0.1f;
+  for (std::size_t i = vals.size(); i > 1; --i)
+    std::swap(vals[i - 1],
+              vals[static_cast<std::size_t>(rng.uniform_index(i))]);
+  std::copy(vals.begin(), vals.end(), d.begin());
+  return x;
+}
+
+constexpr std::uint64_t kSeeds[] = {11, 23, 47};
+
+TEST(GradCheckTest, Linear) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    const std::int64_t batch = 2 + static_cast<std::int64_t>(seed % 3);
+    const std::int64_t in = 4 + static_cast<std::int64_t>(seed % 5);
+    const std::int64_t out = 3 + static_cast<std::int64_t>(seed % 4);
+    Linear layer(in, out, tensor::InitKind::kXavierUniform, rng);
+    Tensor x = Tensor::randn(Shape({batch, in}), rng);
+    gradcheck_layer(layer, x, seed, CheckTolerance{});
+  }
+}
+
+TEST(GradCheckTest, Conv2d) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    tensor::ConvGeom g;
+    g.in_c = 1 + static_cast<std::int64_t>(seed % 2);
+    g.in_h = g.in_w = 6 + static_cast<std::int64_t>(seed % 3);
+    g.out_c = 2 + static_cast<std::int64_t>(seed % 2);
+    g.kernel = 3;
+    g.stride = 1;
+    g.pad = static_cast<std::int64_t>(seed % 2);
+    Conv2d layer(g, tensor::InitKind::kXavierUniform, rng);
+    Tensor x = Tensor::randn(Shape({2, g.in_c, g.in_h, g.in_w}), rng);
+    gradcheck_layer(layer, x, seed, CheckTolerance{});
+  }
+}
+
+TEST(GradCheckTest, Conv2dDirect) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    tensor::ConvGeom g;
+    g.in_c = 1 + static_cast<std::int64_t>(seed % 2);
+    g.in_h = g.in_w = 5 + static_cast<std::int64_t>(seed % 3);
+    g.out_c = 2;
+    g.kernel = 3;
+    g.stride = 1 + static_cast<std::int64_t>(seed % 2);
+    g.pad = 1;
+    Conv2dDirect layer(g, tensor::InitKind::kLecunUniform, rng);
+    Tensor x = Tensor::randn(Shape({2, g.in_c, g.in_h, g.in_w}), rng);
+    gradcheck_layer(layer, x, seed, CheckTolerance{});
+  }
+}
+
+TEST(GradCheckTest, MaxPool2d) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    tensor::PoolGeom g;
+    g.channels = 2;
+    g.in_h = g.in_w = 6;
+    g.window = 2 + static_cast<std::int64_t>(seed % 2);
+    g.stride = 2;
+    g.ceil_mode = seed % 2 == 1;
+    MaxPool2d layer(g);
+    Tensor x = distinct_values(Shape({2, g.channels, g.in_h, g.in_w}), rng);
+    // The max gap between distinct inputs is 0.1; eps stays well below
+    // half of it so windows never change winners.
+    CheckTolerance tol;
+    tol.eps = 1e-3;
+    gradcheck_layer(layer, x, seed, tol);
+  }
+}
+
+TEST(GradCheckTest, AvgPool2d) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    tensor::PoolGeom g;
+    g.channels = 1 + static_cast<std::int64_t>(seed % 3);
+    g.in_h = g.in_w = 6;
+    g.window = 3;
+    g.stride = 2 + static_cast<std::int64_t>(seed % 2);
+    g.ceil_mode = seed % 2 == 0;
+    AvgPool2d layer(g);
+    Tensor x = Tensor::randn(Shape({2, g.channels, g.in_h, g.in_w}), rng);
+    gradcheck_layer(layer, x, seed, CheckTolerance{});
+  }
+}
+
+TEST(GradCheckTest, ReLU) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    ReLU layer;
+    Tensor x = away_from_zero(Shape({3, 4 + static_cast<std::int64_t>(seed % 4)}),
+                              rng, 0.05f);
+    gradcheck_layer(layer, x, seed, CheckTolerance{});
+  }
+}
+
+TEST(GradCheckTest, Tanh) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    Tanh layer;
+    Tensor x = Tensor::randn(Shape({2, 5 + static_cast<std::int64_t>(seed % 3)}),
+                             rng);
+    gradcheck_layer(layer, x, seed, CheckTolerance{});
+  }
+}
+
+TEST(GradCheckTest, DropoutTraining) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    Dropout layer(0.4f);
+    // Keep inputs away from zero so a surviving unit's gradient is
+    // unambiguous (the mask itself is held fixed via the mask seed).
+    Tensor x = away_from_zero(Shape({4, 6}), rng, 0.05f);
+    gradcheck_layer(layer, x, seed, CheckTolerance{}, /*training=*/true);
+  }
+}
+
+TEST(GradCheckTest, DropoutEvalIsIdentity) {
+  util::Rng rng(3);
+  Dropout layer(0.5f);
+  Tensor x = Tensor::randn(Shape({3, 4}), rng);
+  gradcheck_layer(layer, x, 3, CheckTolerance{}, /*training=*/false);
+}
+
+TEST(GradCheckTest, LocalResponseNorm) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    LocalResponseNorm layer(/*depth_radius=*/2, /*bias=*/1.f,
+                            /*alpha=*/0.05f, /*beta=*/0.75f);
+    Tensor x = Tensor::randn(Shape({2, 5, 3, 3}), rng);
+    gradcheck_layer(layer, x, seed, CheckTolerance{});
+  }
+}
+
+TEST(GradCheckTest, Flatten) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    Flatten layer;
+    Tensor x = Tensor::randn(Shape({2, 3, 4, 4}), rng);
+    gradcheck_layer(layer, x, seed, CheckTolerance{});
+  }
+}
+
+// Loss 1 — the fused softmax cross-entropy head: the analytic seed
+// (probs - onehot) / N against numeric d(mean CE)/d(logits).
+TEST(GradCheckTest, SoftmaxCrossEntropyLogitGradient) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    const std::int64_t n = 3 + static_cast<std::int64_t>(seed % 3);
+    const std::int64_t classes = 4 + static_cast<std::int64_t>(seed % 4);
+    Tensor logits = Tensor::randn(Shape({n, classes}), rng, 0.f, 2.f);
+    std::vector<std::int64_t> labels;
+    for (std::int64_t i = 0; i < n; ++i)
+      labels.push_back(
+          static_cast<std::int64_t>(rng.uniform_index(
+              static_cast<std::size_t>(classes))));
+
+    const Device dev = Device::cpu();
+    Tensor probs = tensor::softmax_rows(logits, dev);
+    Tensor analytic = tensor::softmax_cross_entropy_backward(probs, labels,
+                                                             dev);
+    const double eps = 1e-2;
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+      const float saved = logits.at(i);
+      logits.at(i) = saved + static_cast<float>(eps);
+      const double up = tensor::cross_entropy_mean(
+          tensor::softmax_rows(logits, dev), labels);
+      logits.at(i) = saved - static_cast<float>(eps);
+      const double down = tensor::cross_entropy_mean(
+          tensor::softmax_rows(logits, dev), labels);
+      logits.at(i) = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      expect_grad_near(analytic.at(i), numeric, CheckTolerance{},
+                       "softmax-ce logits", i);
+    }
+  }
+}
+
+Sequential small_model(util::Rng& rng) {
+  Sequential model;
+  tensor::ConvGeom g;
+  g.in_c = 1;
+  g.in_h = g.in_w = 6;
+  g.out_c = 2;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 0;
+  model.add(std::make_unique<Conv2d>(g, tensor::InitKind::kXavierUniform,
+                                     rng));
+  model.add(std::make_unique<Tanh>());
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Linear>(2 * 4 * 4, 3,
+                                     tensor::InitKind::kXavierUniform, rng));
+  return model;
+}
+
+// Loss 1, end to end: dL/dinput through Sequential::forward_loss +
+// backward for a conv/tanh/linear stack.
+TEST(GradCheckTest, SequentialLossInputGradient) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    Sequential model = small_model(rng);
+    Tensor x = Tensor::randn(Shape({2, 1, 6, 6}), rng);
+    const std::vector<std::int64_t> labels = {
+        static_cast<std::int64_t>(seed % 3),
+        static_cast<std::int64_t>((seed + 1) % 3)};
+    Context ctx;
+
+    model.zero_grads();
+    LossResult loss = model.forward_loss(x, labels, ctx);
+    Tensor dx = model.backward(loss, labels, ctx);
+
+    util::Rng pick(seed);
+    const double eps = 1e-2;
+    for (const std::int64_t i : sample_indices(x.numel(), 24, pick)) {
+      const float saved = x.at(i);
+      x.at(i) = saved + static_cast<float>(eps);
+      const double up = model.forward_loss(x, labels, ctx).loss;
+      x.at(i) = saved - static_cast<float>(eps);
+      const double down = model.forward_loss(x, labels, ctx).loss;
+      x.at(i) = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      expect_grad_near(dx.at(i), numeric, CheckTolerance{},
+                       "sequential loss input", i);
+    }
+  }
+}
+
+// Loss 2 — the raw-logit path (backward_from_logits), which FGSM/JSMA
+// differentiate: objective = one selected logit.
+TEST(GradCheckTest, LogitPathInputGradient) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    Sequential model = small_model(rng);
+    Tensor x = Tensor::randn(Shape({1, 1, 6, 6}), rng);
+    const std::int64_t target = static_cast<std::int64_t>(seed % 3);
+    Context ctx;
+
+    auto logit = [&](Tensor& input) {
+      Tensor logits = model.forward(input, ctx);
+      return static_cast<double>(logits.at(target));
+    };
+
+    model.zero_grads();
+    Tensor logits = model.forward(x, ctx);
+    Tensor dlogits(logits.shape());
+    dlogits.at(target) = 1.f;
+    Tensor dx = model.backward_from_logits(dlogits, ctx);
+
+    util::Rng pick(seed + 99);
+    const double eps = 1e-2;
+    for (const std::int64_t i : sample_indices(x.numel(), 24, pick)) {
+      const float saved = x.at(i);
+      x.at(i) = saved + static_cast<float>(eps);
+      const double up = logit(x);
+      x.at(i) = saved - static_cast<float>(eps);
+      const double down = logit(x);
+      x.at(i) = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      expect_grad_near(dx.at(i), numeric, CheckTolerance{}, "logit path", i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dlbench::nn

@@ -1,0 +1,317 @@
+// Differential kernel tests: the blocked/parallel GEMM family against a
+// naive double-accumulation triple loop, and the im2col convolution
+// against the direct reference implementation, each across a large set
+// of randomized shapes; plus determinism checks (serial vs threaded,
+// and run-to-run under threads).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/conv_direct.hpp"
+#include "nn/layers.hpp"
+#include "runtime/device.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/matmul.hpp"
+#include "util/rng.hpp"
+
+namespace dlbench::tensor {
+namespace {
+
+using runtime::Device;
+
+// References accumulate in double, so the comparison tolerance reflects
+// only float rounding inside the kernels under test.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.shape().dim(0), k = a.shape().dim(1),
+                     n = b.shape().dim(1);
+  Tensor c(Shape({m, n}));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a.at(i * k + p)) *
+               static_cast<double>(b.at(p * n + j));
+      c.at(i * n + j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+Tensor naive_matmul_tn(const Tensor& a, const Tensor& b) {
+  // a is [K, M] stored; result is A^T * B = [M, N].
+  const std::int64_t k = a.shape().dim(0), m = a.shape().dim(1),
+                     n = b.shape().dim(1);
+  Tensor c(Shape({m, n}));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a.at(p * m + i)) *
+               static_cast<double>(b.at(p * n + j));
+      c.at(i * n + j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+Tensor naive_matmul_nt(const Tensor& a, const Tensor& b) {
+  // b is [N, K]; result is A * B^T = [M, N].
+  const std::int64_t m = a.shape().dim(0), k = a.shape().dim(1),
+                     n = b.shape().dim(0);
+  Tensor c(Shape({m, n}));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a.at(i * k + p)) *
+               static_cast<double>(b.at(j * k + p));
+      c.at(i * n + j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+void expect_close(const Tensor& got, const Tensor& want, double tol,
+                  const std::string& what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  for (std::int64_t i = 0; i < got.numel(); ++i) {
+    const double g = got.at(i), w = want.at(i);
+    ASSERT_NEAR(g, w, tol + 1e-4 * std::max(std::abs(g), std::abs(w)))
+        << what << " at flat index " << i;
+  }
+}
+
+void expect_bitwise_equal(const Tensor& a, const Tensor& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    ASSERT_EQ(a.at(i), b.at(i)) << what << " differs at flat index " << i;
+}
+
+constexpr int kMatmulShapes = 60;   // per variant; >= 50 required
+constexpr int kConvShapes = 54;     // >= 50 required
+
+struct MatDims {
+  std::int64_t m, k, n;
+};
+
+MatDims random_dims(util::Rng& rng) {
+  // Spans tiny degenerate shapes (1x1x1) through sizes large enough to
+  // exercise the blocked path and multiple thread chunks.
+  return {1 + static_cast<std::int64_t>(rng.uniform_index(48)),
+          1 + static_cast<std::int64_t>(rng.uniform_index(40)),
+          1 + static_cast<std::int64_t>(rng.uniform_index(40))};
+}
+
+TEST(KernelDiffTest, MatmulMatchesNaiveAcrossRandomShapes) {
+  util::Rng rng(101);
+  const Device serial = Device::cpu();
+  const Device threaded = Device::parallel(4);
+  for (int it = 0; it < kMatmulShapes; ++it) {
+    const MatDims d = random_dims(rng);
+    Tensor a = Tensor::randn(Shape({d.m, d.k}), rng);
+    Tensor b = Tensor::randn(Shape({d.k, d.n}), rng);
+    const Tensor want = naive_matmul(a, b);
+    const std::string what = "matmul " + std::to_string(d.m) + "x" +
+                             std::to_string(d.k) + "x" + std::to_string(d.n);
+    expect_close(matmul(a, b, serial), want, 1e-3, what + " serial");
+    expect_close(matmul(a, b, threaded), want, 1e-3, what + " threaded");
+  }
+}
+
+TEST(KernelDiffTest, MatmulTnMatchesNaiveAcrossRandomShapes) {
+  util::Rng rng(202);
+  const Device serial = Device::cpu();
+  const Device threaded = Device::parallel(4);
+  for (int it = 0; it < kMatmulShapes; ++it) {
+    const MatDims d = random_dims(rng);
+    Tensor a = Tensor::randn(Shape({d.k, d.m}), rng);  // stored transposed
+    Tensor b = Tensor::randn(Shape({d.k, d.n}), rng);
+    const Tensor want = naive_matmul_tn(a, b);
+    const std::string what = "matmul_tn " + std::to_string(d.m) + "x" +
+                             std::to_string(d.k) + "x" + std::to_string(d.n);
+    expect_close(matmul_tn(a, b, serial), want, 1e-3, what + " serial");
+    expect_close(matmul_tn(a, b, threaded), want, 1e-3, what + " threaded");
+  }
+}
+
+TEST(KernelDiffTest, MatmulNtMatchesNaiveAcrossRandomShapes) {
+  util::Rng rng(303);
+  const Device serial = Device::cpu();
+  const Device threaded = Device::parallel(4);
+  for (int it = 0; it < kMatmulShapes; ++it) {
+    const MatDims d = random_dims(rng);
+    Tensor a = Tensor::randn(Shape({d.m, d.k}), rng);
+    Tensor b = Tensor::randn(Shape({d.n, d.k}), rng);  // stored transposed
+    const Tensor want = naive_matmul_nt(a, b);
+    const std::string what = "matmul_nt " + std::to_string(d.m) + "x" +
+                             std::to_string(d.k) + "x" + std::to_string(d.n);
+    expect_close(matmul_nt(a, b, serial), want, 1e-3, what + " serial");
+    expect_close(matmul_nt(a, b, threaded), want, 1e-3, what + " threaded");
+  }
+}
+
+// Each row of C is produced by exactly one thread with a fixed-order
+// inner loop, so 1-thread and N-thread results must agree bit for bit.
+TEST(KernelDiffTest, MatmulFamilyIsThreadCountDeterministic) {
+  util::Rng rng(404);
+  const Device serial = Device::cpu();
+  for (int it = 0; it < 12; ++it) {
+    const MatDims d = random_dims(rng);
+    Tensor a = Tensor::randn(Shape({d.m, d.k}), rng);
+    Tensor b = Tensor::randn(Shape({d.k, d.n}), rng);
+    Tensor at = Tensor::randn(Shape({d.k, d.m}), rng);
+    Tensor bt = Tensor::randn(Shape({d.n, d.k}), rng);
+    for (const int threads : {2, 3, 8}) {
+      const Device dev = Device::parallel(threads);
+      const std::string tag = " (threads=" + std::to_string(threads) + ")";
+      expect_bitwise_equal(matmul(a, b, dev), matmul(a, b, serial),
+                           "matmul" + tag);
+      expect_bitwise_equal(matmul_tn(at, b, dev), matmul_tn(at, b, serial),
+                           "matmul_tn" + tag);
+      expect_bitwise_equal(matmul_nt(a, bt, dev), matmul_nt(a, bt, serial),
+                           "matmul_nt" + tag);
+    }
+  }
+}
+
+// Weight layouts match ([out_c, patch_size] / [out_c]); copy so the
+// two implementations evaluate the identical function.
+void copy_params(nn::Layer& from, nn::Layer& to) {
+  auto src = from.params();
+  auto dst = to.params();
+  ASSERT_EQ(src.size(), dst.size());
+  for (std::size_t p = 0; p < src.size(); ++p) {
+    auto s = src[p]->data();
+    auto d = dst[p]->data();
+    ASSERT_EQ(s.size(), d.size());
+    std::copy(s.begin(), s.end(), d.begin());
+  }
+}
+
+ConvGeom random_geom(util::Rng& rng) {
+  ConvGeom g;
+  g.in_c = 1 + static_cast<std::int64_t>(rng.uniform_index(3));
+  g.kernel = 1 + static_cast<std::int64_t>(rng.uniform_index(3));  // 1..3
+  g.stride = 1 + static_cast<std::int64_t>(rng.uniform_index(2));
+  g.pad = static_cast<std::int64_t>(rng.uniform_index(g.kernel));
+  // Ensure at least one full output position.
+  const std::int64_t min_hw = g.kernel;
+  g.in_h = min_hw + static_cast<std::int64_t>(rng.uniform_index(7));
+  g.in_w = min_hw + static_cast<std::int64_t>(rng.uniform_index(7));
+  g.out_c = 1 + static_cast<std::int64_t>(rng.uniform_index(4));
+  return g;
+}
+
+// im2col conv vs the direct loop reference: forward, dx, dweight, dbias
+// over randomized geometries, on both serial and threaded devices.
+TEST(KernelDiffTest, Im2colConvMatchesDirectReference) {
+  util::Rng rng(505);
+  nn::Context serial_ctx;  // Device::cpu(), inference
+  nn::Context threaded_ctx;
+  threaded_ctx.device = Device::parallel(4);
+  for (int it = 0; it < kConvShapes; ++it) {
+    const ConvGeom g = random_geom(rng);
+    const std::int64_t batch =
+        1 + static_cast<std::int64_t>(rng.uniform_index(3));
+    nn::Conv2d conv(g, InitKind::kXavierUniform, rng);
+    util::Rng scratch(1);
+    nn::Conv2dDirect ref(g, InitKind::kXavierUniform, scratch);
+    copy_params(conv, ref);
+    Tensor x = Tensor::randn(Shape({batch, g.in_c, g.in_h, g.in_w}), rng);
+    const std::string what =
+        "conv c" + std::to_string(g.in_c) + " k" + std::to_string(g.kernel) +
+        " s" + std::to_string(g.stride) + " p" + std::to_string(g.pad) +
+        " hw" + std::to_string(g.in_h) + "x" + std::to_string(g.in_w);
+
+    for (nn::Context* ctx : {&serial_ctx, &threaded_ctx}) {
+      conv.zero_grads();
+      ref.zero_grads();
+      Tensor y_im2col = conv.forward(x, *ctx);
+      Tensor y_direct = ref.forward(x, *ctx);
+      expect_close(y_im2col, y_direct, 1e-4, what + " forward");
+
+      Tensor dy = Tensor::rand_uniform(y_im2col.shape(), rng, -1.f, 1.f);
+      Tensor dx_im2col = conv.backward(dy, *ctx);
+      Tensor dx_direct = ref.backward(dy, *ctx);
+      expect_close(dx_im2col, dx_direct, 1e-4, what + " dx");
+      expect_close(*conv.grads()[0], *ref.grads()[0], 1e-3,
+                   what + " dweight");
+      expect_close(*conv.grads()[1], *ref.grads()[1], 1e-3, what + " dbias");
+    }
+  }
+}
+
+// Forward and dx are partitioned per batch sample (one writer per output
+// region, fixed-order accumulation inside), so thread count cannot
+// change the bits.
+TEST(KernelDiffTest, ConvForwardAndDxAreThreadCountDeterministic) {
+  util::Rng rng(606);
+  nn::Context serial_ctx;
+  for (int it = 0; it < 10; ++it) {
+    const ConvGeom g = random_geom(rng);
+    nn::Conv2d conv(g, InitKind::kXavierUniform, rng);
+    Tensor x = Tensor::randn(Shape({4, g.in_c, g.in_h, g.in_w}), rng);
+
+    conv.zero_grads();
+    Tensor y_serial = conv.forward(x, serial_ctx);
+    Tensor dy = Tensor::rand_uniform(y_serial.shape(), rng, -1.f, 1.f);
+    Tensor dx_serial = conv.backward(dy, serial_ctx);
+
+    for (const int threads : {2, 5}) {
+      nn::Context ctx;
+      ctx.device = Device::parallel(threads);
+      conv.zero_grads();
+      const std::string tag = " (threads=" + std::to_string(threads) + ")";
+      expect_bitwise_equal(conv.forward(x, ctx), y_serial,
+                           "conv forward" + tag);
+      expect_bitwise_equal(conv.backward(dy, ctx), dx_serial,
+                           "conv dx" + tag);
+    }
+  }
+}
+
+// dweight/dbias are reduced across batch chunks; the reduction merges
+// per-chunk partials in a fixed chunk order, so repeated threaded runs
+// must agree bit for bit, and any thread count must stay within float
+// tolerance of the serial reduction.
+TEST(KernelDiffTest, ConvWeightGradsAreRunToRunDeterministicUnderThreads) {
+  util::Rng rng(707);
+  for (int it = 0; it < 8; ++it) {
+    const ConvGeom g = random_geom(rng);
+    nn::Conv2d conv(g, InitKind::kXavierUniform, rng);
+    Tensor x = Tensor::randn(Shape({6, g.in_c, g.in_h, g.in_w}), rng);
+    nn::Context serial_ctx;
+    conv.zero_grads();
+    Tensor dy = Tensor::rand_uniform(conv.forward(x, serial_ctx).shape(),
+                                     rng, -1.f, 1.f);
+    conv.backward(dy, serial_ctx);
+    Tensor dw_serial = conv.grads()[0]->clone();
+    Tensor db_serial = conv.grads()[1]->clone();
+
+    nn::Context ctx;
+    ctx.device = Device::parallel(4);
+    conv.zero_grads();
+    conv.forward(x, ctx);
+    conv.backward(dy, ctx);
+    Tensor dw_first = conv.grads()[0]->clone();
+    Tensor db_first = conv.grads()[1]->clone();
+
+    // Run-to-run bit-exactness under the same thread count.
+    for (int rep = 0; rep < 3; ++rep) {
+      conv.zero_grads();
+      conv.forward(x, ctx);
+      conv.backward(dy, ctx);
+      expect_bitwise_equal(*conv.grads()[0], dw_first, "dweight rep");
+      expect_bitwise_equal(*conv.grads()[1], db_first, "dbias rep");
+    }
+
+    // Serial vs threaded differ only by float summation order.
+    expect_close(dw_first, dw_serial, 1e-3, "dweight serial-vs-threaded");
+    expect_close(db_first, db_serial, 1e-3, "dbias serial-vs-threaded");
+  }
+}
+
+}  // namespace
+}  // namespace dlbench::tensor
