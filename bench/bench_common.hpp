@@ -3,6 +3,9 @@
 // Shared helpers for the table/figure reproduction binaries.
 
 #include <array>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -27,8 +30,13 @@ using frameworks::FrameworkKind;
 /// the boilerplate each binary used to hand-roll.
 class BenchSession {
  public:
+  /// Returns true if it consumed `arg`; a binary passes one to accept
+  /// flags beyond the session's own.
+  using FlagHandler = std::function<bool(const std::string& arg)>;
+
   BenchSession(int argc, char** argv, const std::string& id,
-               const std::string& description)
+               const std::string& description,
+               const FlagHandler& extra_flags = nullptr)
       : options_(core::HarnessOptions::from_env()) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -38,10 +46,15 @@ class BenchSession {
         trace_summary_ = true;
       } else if (arg.rfind("--json-out=", 0) == 0) {
         json_out_ = arg.substr(11);
+      } else if (extra_flags && extra_flags(arg)) {
+        // consumed by the binary
       } else {
-        std::cerr << "warning: ignoring unknown flag " << arg
-                  << " (known: --trace-out=PATH, --trace-summary, "
+        // A misspelled flag silently measuring the wrong configuration
+        // is worse than no measurement: fail loudly instead.
+        std::cerr << "error: unknown flag " << arg
+                  << " (session flags: --trace-out=PATH, --trace-summary, "
                      "--json-out=PATH)\n";
+        std::exit(2);
       }
     }
     core::print_banner(id, description, options_);
@@ -71,13 +84,24 @@ class BenchSession {
     return records_.back();
   }
 
+  /// Serving-cell variant; lands in the same --json-out (as a "serve"
+  /// array when both kinds are present).
+  const core::ServeRecord& add(core::ServeRecord record) {
+    serve_records_.push_back(std::move(record));
+    std::cout << core::summarize(serve_records_.back()) << "\n";
+    return serve_records_.back();
+  }
+
+  const std::vector<core::ServeRecord>& serve_records() const {
+    return serve_records_;
+  }
+
   /// Writes --json-out and closes the trace scope (writing --trace-out).
   /// Idempotent; also runs from the destructor.
   void flush() {
     if (flushed_) return;
     flushed_ = true;
-    if (!json_out_.empty() &&
-        core::write_records_json(json_out_, records_)) {
+    if (!json_out_.empty() && write_json(json_out_)) {
       std::cout << "\nresults JSON: " << json_out_ << "\n";
     }
     if (trace_scope_.has_value()) {
@@ -89,6 +113,24 @@ class BenchSession {
   }
 
  private:
+  /// Serve-only runs keep the legacy top-level-array format for
+  /// RunRecords (nothing downstream breaks); mixed runs wrap both
+  /// arrays in one object.
+  bool write_json(const std::string& path) const {
+    if (serve_records_.empty())
+      return core::write_records_json(path, records_);
+    if (records_.empty())
+      return core::write_serve_records_json(path, serve_records_);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "warning: cannot open " << path << " for writing\n";
+      return false;
+    }
+    out << "{\"runs\":" << core::records_json(records_)
+        << ",\"serve\":" << core::serve_records_json(serve_records_) << "}\n";
+    return out.good();
+  }
+
   core::HarnessOptions options_;
   std::string trace_out_;
   std::string json_out_;
@@ -99,6 +141,7 @@ class BenchSession {
   std::optional<runtime::trace::TraceScope> trace_scope_;
   std::optional<Harness> harness_;
   std::vector<RunRecord> records_;
+  std::vector<core::ServeRecord> serve_records_;
 };
 
 /// Prints measured rows next to the published rows and simple shape

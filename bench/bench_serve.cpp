@@ -1,0 +1,263 @@
+// Serving benchmark: dynamic batching, replica scaling, backpressure.
+//
+// The paper measures training and offline testing time; this bench
+// covers the deployment side those metrics stop short of — an
+// inference server under load. Four experiments:
+//
+//   1. Batching ablation (open loop). Offered load is fixed at 2x the
+//      measured max_batch=1 capacity, then max_batch sweeps 1 -> 8 ->
+//      32 on the parallel device. Larger batches spread each forward
+//      across more cores, so throughput rises and the p99 (queueing
+//      collapse at batch=1) falls.
+//   2. Replica scaling (closed loop, serial device): 1 -> 2 -> 4
+//      replicas, throughput from concurrency instead of batch width.
+//   3. Overload shedding (open loop at 4x capacity, small queue):
+//      admission control rejects past the watermark while queue depth
+//      stays bounded.
+//   4. Framework emulation sweep (closed loop): the TF / Caffe / Torch
+//      default MNIST nets served under one policy — the conv kernel and
+//      network defaults shift the whole latency distribution.
+//
+// Flags: session flags plus --quick (shorter cells) and
+// --duration=SECONDS per cell.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "frameworks/predictor.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dlbench::core::ServeRecord;
+using dlbench::frameworks::DatasetId;
+using dlbench::frameworks::FrameworkKind;
+using dlbench::runtime::Device;
+using dlbench::serve::LoadGenOptions;
+using dlbench::serve::LoadGenResult;
+using dlbench::serve::ModelServer;
+using dlbench::serve::ServerOptions;
+using dlbench::serve::ServerStats;
+using dlbench::tensor::Tensor;
+
+/// Synthetic request pool: serving cost does not depend on pixel
+/// values, so N(0,1) samples of the dataset's shape suffice.
+std::vector<Tensor> make_inputs(DatasetId dataset, int count) {
+  dlbench::util::Rng rng(99);
+  const auto shape = dlbench::frameworks::sample_shape(dataset);
+  std::vector<Tensor> inputs;
+  inputs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    inputs.push_back(Tensor::randn(shape, rng));
+  return inputs;
+}
+
+/// Runs one load-gen cell against a fresh server and flattens the
+/// client + server views into a ServeRecord.
+ServeRecord run_cell(FrameworkKind framework, DatasetId dataset,
+                     const ServerOptions& sopts, const LoadGenOptions& lopts,
+                     const std::vector<Tensor>& inputs) {
+  dlbench::frameworks::PredictorConfig pconfig;
+  pconfig.framework = framework;
+  pconfig.dataset = dataset;
+  pconfig.device = sopts.device;
+  ModelServer server(dlbench::frameworks::make_predictor(pconfig), sopts);
+  const LoadGenResult load = run_load(server, inputs, lopts);
+  server.shutdown();
+  const ServerStats stats = server.stats();
+
+  ServeRecord r;
+  r.framework = to_string(framework);
+  r.dataset = to_string(dataset);
+  r.mode = to_string(lopts.mode);
+  r.device = sopts.device.name();
+  r.replicas = sopts.replicas;
+  r.max_batch = sopts.max_batch;
+  r.max_batch_delay_s = sopts.max_batch_delay_s;
+  r.duration_s = load.duration_s;
+  r.offered_rps = load.offered_rps;
+  r.achieved_rps = load.achieved_rps;
+  r.issued = load.issued;
+  r.ok = load.ok;
+  r.rejected = load.rejected;
+  r.mean_batch = load.mean_batch;
+  r.latency_mean_s = load.latency.mean_s();
+  r.latency_p50_s = load.latency.percentile(50);
+  r.latency_p95_s = load.latency.percentile(95);
+  r.latency_p99_s = load.latency.percentile(99);
+  r.latency_p999_s = load.latency.percentile(99.9);
+  r.latency_max_s = load.latency.max_s();
+  r.max_queue_depth = stats.max_queue_depth;
+  r.busy_s = stats.busy_s;
+  r.queue_wait_p50_s = stats.latency.queue_wait.percentile(50);
+  r.queue_wait_p99_s = stats.latency.queue_wait.percentile(99);
+  r.assemble_mean_s = stats.latency.assemble.mean_s();
+  r.forward_mean_s = stats.latency.forward.mean_s();
+  r.scatter_mean_s = stats.latency.scatter.mean_s();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dlbench::bench::BenchSession;
+  double duration_s = 0.4;
+  BenchSession session(
+      argc, argv, "bench_serve",
+      "inference serving: dynamic batching, replicas, backpressure",
+      [&duration_s](const std::string& arg) {
+        if (arg == "--quick") {
+          duration_s = 0.15;
+          return true;
+        }
+        if (arg.rfind("--duration=", 0) == 0) {
+          duration_s = std::atof(arg.c_str() + 11);
+          return duration_s > 0.0;
+        }
+        return false;
+      });
+
+  const DatasetId dataset = DatasetId::kMnist;
+  const FrameworkKind framework = FrameworkKind::kTensorFlow;
+  const std::vector<Tensor> inputs = make_inputs(dataset, 64);
+
+  // Calibrate: peak closed-loop throughput with no batching, so the
+  // open-loop sweeps can pin offered load relative to capacity instead
+  // of hardcoding a machine-dependent rate.
+  ServerOptions base;
+  base.sample_shape = dlbench::frameworks::sample_shape(dataset);
+  base.replicas = 1;
+  base.max_batch = 1;
+  base.max_batch_delay_s = 0.0;
+  base.device = Device::gpu();
+  base.compute_probabilities = false;
+  LoadGenOptions probe;
+  probe.mode = LoadGenOptions::Mode::kClosedLoop;
+  probe.clients = 2;
+  probe.duration_s = duration_s;
+  const ServeRecord calib =
+      run_cell(framework, dataset, base, probe, inputs);
+  const double capacity_rps = calib.achieved_rps;
+  std::cout << "calibration: max_batch=1 capacity "
+            << static_cast<long long>(capacity_rps) << " r/s\n\n";
+
+  // 1. Batching ablation at fixed offered load (2x capacity).
+  std::cout << "--- batching ablation (open loop, offered = 2x capacity) "
+               "---\n";
+  std::vector<ServeRecord> ablation;
+  LoadGenOptions open;
+  open.mode = LoadGenOptions::Mode::kOpenLoop;
+  open.offered_rps = 2.0 * capacity_rps;
+  open.duration_s = duration_s;
+  for (const std::int64_t max_batch : {1, 8, 32}) {
+    ServerOptions sopts = base;
+    sopts.max_batch = max_batch;
+    sopts.max_batch_delay_s = 0.002;
+    ablation.push_back(
+        session.add(run_cell(framework, dataset, sopts, open, inputs)));
+  }
+  // On a parallel host each extra batch slot is another core for the
+  // forward, so throughput rises through 32 and p99 falls with it.
+  // Single-core hosts only get the fixed-cost amortization, which
+  // saturates (and can regress) past batch 8 — there the claim is that
+  // the best batched cell beats unbatched serving.
+  const auto& best_batched =
+      ablation[1].achieved_rps >= ablation[2].achieved_rps ? ablation[1]
+                                                           : ablation[2];
+  if (std::thread::hardware_concurrency() >= 4) {
+    dlbench::bench::shape_check(
+        "throughput rises with max batch 1 -> 8 -> 32",
+        ablation[0].achieved_rps < ablation[1].achieved_rps &&
+            ablation[1].achieved_rps < ablation[2].achieved_rps);
+    dlbench::bench::shape_check(
+        "p99 latency falls once batching absorbs the overload",
+        ablation[2].latency_p99_s < ablation[0].latency_p99_s);
+  } else {
+    dlbench::bench::shape_check(
+        "batching raises throughput over batch=1 (single-core host)",
+        best_batched.achieved_rps > ablation[0].achieved_rps);
+    dlbench::bench::shape_check(
+        "p99 latency falls once batching absorbs the overload",
+        best_batched.latency_p99_s < ablation[0].latency_p99_s);
+  }
+
+  // 2. Replica scaling on the serial device (closed loop).
+  std::cout << "\n--- replica scaling (closed loop, serial device) ---\n";
+  std::vector<ServeRecord> scaling;
+  LoadGenOptions closed;
+  closed.mode = LoadGenOptions::Mode::kClosedLoop;
+  closed.clients = 8;
+  closed.duration_s = duration_s;
+  for (const int replicas : {1, 2, 4}) {
+    ServerOptions sopts = base;
+    sopts.device = Device::cpu();
+    sopts.replicas = replicas;
+    sopts.max_batch = 4;
+    // No lingering: a replica-scaling cell measures concurrency, and a
+    // batch-fill delay would throttle the closed loop as replicas grow.
+    sopts.max_batch_delay_s = 0.0;
+    scaling.push_back(
+        session.add(run_cell(framework, dataset, sopts, closed, inputs)));
+  }
+  // Replicas buy throughput only when there are cores to run them on;
+  // on a single-core host the honest claim is merely that replica
+  // fan-out does not collapse under contention.
+  if (std::thread::hardware_concurrency() >= 4) {
+    dlbench::bench::shape_check(
+        "throughput rises with replicas 1 -> 2 -> 4",
+        scaling[0].achieved_rps < scaling[1].achieved_rps &&
+            scaling[1].achieved_rps < scaling[2].achieved_rps);
+  } else {
+    dlbench::bench::shape_check(
+        "replica fan-out does not collapse throughput (single-core host)",
+        scaling[2].achieved_rps > 0.5 * scaling[0].achieved_rps);
+  }
+
+  // 3. Overload shedding: 4x capacity into a small queue.
+  std::cout << "\n--- overload shedding (open loop, offered = 4x capacity) "
+               "---\n";
+  ServerOptions overload = base;
+  overload.max_batch = 8;
+  overload.max_batch_delay_s = 0.002;
+  overload.queue_capacity = 64;  // watermark defaults to 48
+  LoadGenOptions storm = open;
+  storm.offered_rps = 4.0 * capacity_rps;
+  const ServeRecord shed =
+      session.add(run_cell(framework, dataset, overload, storm, inputs));
+  dlbench::bench::shape_check("overload sheds load (rejections observed)",
+                              shed.rejected > 0);
+  dlbench::bench::shape_check(
+      "queue depth stays bounded by the watermark",
+      shed.max_queue_depth <=
+          static_cast<std::int64_t>(overload.queue_capacity -
+                                    overload.queue_capacity / 4));
+
+  // 4. Framework emulation sweep under one serving policy.
+  std::cout << "\n--- framework emulations (closed loop, shared policy) "
+               "---\n";
+  for (const FrameworkKind kind :
+       {FrameworkKind::kTensorFlow, FrameworkKind::kCaffe,
+        FrameworkKind::kTorch}) {
+    ServerOptions sopts = base;
+    sopts.device = Device::cpu();
+    sopts.replicas = 2;
+    sopts.max_batch = 8;
+    sopts.max_batch_delay_s = 0.001;
+    LoadGenOptions lopts = closed;
+    lopts.clients = 4;
+    session.add(run_cell(kind, dataset, sopts, lopts, inputs));
+  }
+
+  std::cout << "\n"
+            << dlbench::core::serve_table("bench_serve — all cells",
+                                          session.serve_records())
+            << "\n";
+  session.flush();
+  return 0;
+}

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the repo with AddressSanitizer + UBSan and runs the suites most
 # likely to surface memory/lifetime bugs: the fault-injection tests
-# (label `fault`) and the numerical gradient/kernel differential tests
-# (label `gradcheck`), which hammer the threaded kernels.
+# (label `fault`), the numerical gradient/kernel differential tests
+# (label `gradcheck`), which hammer the threaded kernels, and the
+# inference-serving tests (label `serve`), whose batcher moves tensors
+# across threads. For data races specifically, see tsan_check.sh.
 #
 # Usage: scripts/sanitize_check.sh [build-dir]   (default: build-asan)
 # Equivalent preset: cmake --preset sanitize && cmake --build --preset sanitize
@@ -17,4 +19,4 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDLBENCH_SANITIZE="$SANITIZERS"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck' --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck|serve' --output-on-failure -j "$(nproc)"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the repo with ThreadSanitizer and runs the suites that exercise
+# real cross-thread interleavings: the inference-serving tests (label
+# `serve` — MPMC queue, dynamic batcher, replica threads, histogram
+# merges), the tracing tests (label `trace` — thread-local event buffers
+# under an atomic scope pointer), and the fault-injection tests (label
+# `fault`). ASan/UBSan (sanitize_check.sh) cannot see data races; this
+# is the suite that would have caught a misordered stats commit or an
+# unlocked histogram.
+#
+# Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
+# Equivalent preset: cmake --preset tsan && cmake --build --preset tsan
+#                    && ctest --preset tsan
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDLBENCH_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'serve|trace|fault' --output-on-failure \
+  -j "$(nproc)"

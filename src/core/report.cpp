@@ -202,6 +202,93 @@ bool write_records_json(const std::string& path,
   return out.good();
 }
 
+namespace {
+
+// Latencies in ms with three decimals: serving numbers live in the
+// 0.1–100 ms range where format_seconds's precision is too coarse.
+std::string ms(double seconds) { return util::format_fixed(seconds * 1e3, 3); }
+
+}  // namespace
+
+util::Table serve_table(const std::string& title,
+                        const std::vector<ServeRecord>& records) {
+  util::Table table({"Framework", "Mode", "Repl", "Batch", "Offered (r/s)",
+                     "Achieved (r/s)", "p50 (ms)", "p99 (ms)", "p999 (ms)",
+                     "Rejected"});
+  table.set_title(title);
+  for (const auto& r : records) {
+    table.add_row({r.framework, r.mode, std::to_string(r.replicas),
+                   std::to_string(r.max_batch),
+                   util::format_fixed(r.offered_rps, 0),
+                   util::format_fixed(r.achieved_rps, 0),
+                   ms(r.latency_p50_s), ms(r.latency_p99_s),
+                   ms(r.latency_p999_s), std::to_string(r.rejected)});
+  }
+  return table;
+}
+
+std::string summarize(const ServeRecord& r) {
+  std::ostringstream os;
+  os << r.framework << " serve [" << r.mode << ", replicas=" << r.replicas
+     << ", batch<=" << r.max_batch << "] on " << r.dataset << " ("
+     << r.device << "): offered " << util::format_fixed(r.offered_rps, 0)
+     << " r/s, achieved " << util::format_fixed(r.achieved_rps, 0)
+     << " r/s, p50 " << ms(r.latency_p50_s) << "ms, p99 "
+     << ms(r.latency_p99_s) << "ms, mean batch "
+     << util::format_fixed(r.mean_batch, 2);
+  if (r.rejected > 0) os << ", rejected " << r.rejected;
+  return os.str();
+}
+
+std::string serve_record_json(const ServeRecord& r) {
+  std::ostringstream os;
+  os << "{\"framework\":" << quoted(r.framework)
+     << ",\"dataset\":" << quoted(r.dataset) << ",\"mode\":" << quoted(r.mode)
+     << ",\"device\":" << quoted(r.device) << ",\"replicas\":" << r.replicas
+     << ",\"max_batch\":" << r.max_batch
+     << ",\"max_batch_delay_s\":" << num(r.max_batch_delay_s)
+     << ",\"duration_s\":" << num(r.duration_s)
+     << ",\"offered_rps\":" << num(r.offered_rps)
+     << ",\"achieved_rps\":" << num(r.achieved_rps)
+     << ",\"issued\":" << r.issued << ",\"ok\":" << r.ok
+     << ",\"rejected\":" << r.rejected
+     << ",\"mean_batch\":" << num(r.mean_batch)
+     << ",\"latency\":{\"mean_s\":" << num(r.latency_mean_s)
+     << ",\"p50_s\":" << num(r.latency_p50_s)
+     << ",\"p95_s\":" << num(r.latency_p95_s)
+     << ",\"p99_s\":" << num(r.latency_p99_s)
+     << ",\"p999_s\":" << num(r.latency_p999_s)
+     << ",\"max_s\":" << num(r.latency_max_s) << "}"
+     << ",\"server\":{\"max_queue_depth\":" << r.max_queue_depth
+     << ",\"busy_s\":" << num(r.busy_s)
+     << ",\"queue_wait_p50_s\":" << num(r.queue_wait_p50_s)
+     << ",\"queue_wait_p99_s\":" << num(r.queue_wait_p99_s)
+     << ",\"assemble_mean_s\":" << num(r.assemble_mean_s)
+     << ",\"forward_mean_s\":" << num(r.forward_mean_s)
+     << ",\"scatter_mean_s\":" << num(r.scatter_mean_s) << "}}";
+  return os.str();
+}
+
+std::string serve_records_json(const std::vector<ServeRecord>& records) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    os << (i ? ",\n " : "\n ") << serve_record_json(records[i]);
+  os << "\n]\n";
+  return os.str();
+}
+
+bool write_serve_records_json(const std::string& path,
+                              const std::vector<ServeRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << serve_records_json(records);
+  return out.good();
+}
+
 util::Table comparison_table(const std::string& title,
                              const std::vector<PaperComparison>& rows) {
   util::Table table({"Quantity", "Paper", "Measured", "Unit"});

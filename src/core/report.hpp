@@ -2,6 +2,7 @@
 
 // Paper-style rendering of harness results.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,60 @@ struct PaperComparison {
 };
 util::Table comparison_table(const std::string& title,
                              const std::vector<PaperComparison>& rows);
+
+/// One serving-benchmark cell: the configuration swept plus the
+/// client-observed and server-observed outcome. Plain data on purpose —
+/// core does not depend on src/serve; bench_serve fills this from
+/// serve::LoadGenResult + serve::ServerStats.
+struct ServeRecord {
+  // Configuration.
+  std::string framework;
+  std::string dataset;
+  std::string mode;  // "open" (Poisson) or "closed"
+  std::string device;
+  int replicas = 0;
+  std::int64_t max_batch = 0;
+  double max_batch_delay_s = 0.0;
+  // Client-observed outcome.
+  double duration_s = 0.0;
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  std::int64_t issued = 0;
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;
+  double mean_batch = 0.0;
+  double latency_mean_s = 0.0;
+  double latency_p50_s = 0.0;
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_p999_s = 0.0;
+  double latency_max_s = 0.0;
+  // Server-observed breakdown.
+  std::int64_t max_queue_depth = 0;
+  double busy_s = 0.0;
+  double queue_wait_p50_s = 0.0;
+  double queue_wait_p99_s = 0.0;
+  double assemble_mean_s = 0.0;
+  double forward_mean_s = 0.0;
+  double scatter_mean_s = 0.0;
+};
+
+/// Serving analogue of results_table: Framework / Mode / Replicas /
+/// Batch / Offered / Achieved / p50 / p99 / p999 / Rejected.
+util::Table serve_table(const std::string& title,
+                        const std::vector<ServeRecord>& records);
+
+/// One-line summary of a serving cell for log output.
+std::string summarize(const ServeRecord& record);
+
+/// One serving cell as a JSON object / all cells as a JSON array.
+std::string serve_record_json(const ServeRecord& record);
+std::string serve_records_json(const std::vector<ServeRecord>& records);
+
+/// Writes serve_records_json to `path`; warns and returns false on
+/// filesystem errors, like write_records_json.
+bool write_serve_records_json(const std::string& path,
+                              const std::vector<ServeRecord>& records);
 
 /// One record as a JSON object: identity + train (with the per-phase
 /// time breakdown and loss curve) + eval + the trace summary when the

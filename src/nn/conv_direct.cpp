@@ -27,45 +27,51 @@ std::string Conv2dDirect::describe() const {
 }
 
 Tensor Conv2dDirect::forward(const Tensor& x, const Context& ctx) {
-  DLB_CHECK(x.shape().rank() == 4 && x.dim(1) == geom_.in_c &&
-                x.dim(2) == geom_.in_h && x.dim(3) == geom_.in_w,
+  cached_input_ = x;
+  return conv2d_direct_forward(x, weight_, bias_, geom_, ctx.device);
+}
+
+Tensor conv2d_direct_forward(const Tensor& x, const Tensor& weight,
+                             const Tensor& bias, const tensor::ConvGeom& geom,
+                             const runtime::Device& device) {
+  DLB_CHECK(x.shape().rank() == 4 && x.dim(1) == geom.in_c &&
+                x.dim(2) == geom.in_h && x.dim(3) == geom.in_w,
             "Conv2dDirect input " << x.shape().to_string()
                                   << " does not match geometry");
-  cached_input_ = x;
   const std::int64_t n = x.dim(0);
-  const std::int64_t oh = geom_.out_h(), ow = geom_.out_w();
-  const std::int64_t k = geom_.kernel;
-  Tensor y({n, geom_.out_c, oh, ow});
+  const std::int64_t oh = geom.out_h(), ow = geom.out_w();
+  const std::int64_t k = geom.kernel;
+  Tensor y({n, geom.out_c, oh, ow});
 
   const float* px = x.raw();
-  const float* pw = weight_.raw();
-  const float* pb = bias_.raw();
+  const float* pw = weight.raw();
+  const float* pb = bias.raw();
   float* py = y.raw();
-  const std::int64_t in_plane = geom_.in_h * geom_.in_w;
-  const std::int64_t in_sz = geom_.in_c * in_plane;
-  const std::int64_t out_sz = geom_.out_c * oh * ow;
+  const std::int64_t in_plane = geom.in_h * geom.in_w;
+  const std::int64_t in_sz = geom.in_c * in_plane;
+  const std::int64_t out_sz = geom.out_c * oh * ow;
 
-  ctx.device.parallel_for(
+  device.parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           const float* xin = px + static_cast<std::int64_t>(i) * in_sz;
           float* yout = py + static_cast<std::int64_t>(i) * out_sz;
-          for (std::int64_t oc = 0; oc < geom_.out_c; ++oc) {
-            const float* wk = pw + oc * geom_.patch_size();
+          for (std::int64_t oc = 0; oc < geom.out_c; ++oc) {
+            const float* wk = pw + oc * geom.patch_size();
             for (std::int64_t y0 = 0; y0 < oh; ++y0) {
               for (std::int64_t x0 = 0; x0 < ow; ++x0) {
                 float acc = pb[oc];
-                for (std::int64_t ic = 0; ic < geom_.in_c; ++ic) {
+                for (std::int64_t ic = 0; ic < geom.in_c; ++ic) {
                   for (std::int64_t ky = 0; ky < k; ++ky) {
-                    const std::int64_t iy = y0 * geom_.stride + ky - geom_.pad;
-                    if (iy < 0 || iy >= geom_.in_h) continue;
+                    const std::int64_t iy = y0 * geom.stride + ky - geom.pad;
+                    if (iy < 0 || iy >= geom.in_h) continue;
                     for (std::int64_t kx = 0; kx < k; ++kx) {
                       const std::int64_t ix =
-                          x0 * geom_.stride + kx - geom_.pad;
-                      if (ix < 0 || ix >= geom_.in_w) continue;
+                          x0 * geom.stride + kx - geom.pad;
+                      if (ix < 0 || ix >= geom.in_w) continue;
                       acc += wk[(ic * k + ky) * k + kx] *
-                             xin[ic * in_plane + iy * geom_.in_w + ix];
+                             xin[ic * in_plane + iy * geom.in_w + ix];
                     }
                   }
                 }

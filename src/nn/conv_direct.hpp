@@ -28,10 +28,22 @@ class Conv2dDirect final : public Layer {
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> grads() override { return {&dweight_, &dbias_}; }
 
+  const tensor::ConvGeom& geom() const { return geom_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
  private:
   tensor::ConvGeom geom_;
   Tensor weight_, bias_, dweight_, dbias_;
   Tensor cached_input_;
 };
+
+/// The direct-convolution forward kernel itself, shared by the layer
+/// and the frozen inference view — the frozen Torch-on-CPU path must
+/// keep this summation order, not the GEMM one, for its outputs to stay
+/// bitwise identical to the training object's.
+Tensor conv2d_direct_forward(const Tensor& x, const Tensor& weight,
+                             const Tensor& bias, const tensor::ConvGeom& geom,
+                             const runtime::Device& device);
 
 }  // namespace dlbench::nn

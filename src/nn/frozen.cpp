@@ -1,0 +1,163 @@
+#include "nn/frozen.hpp"
+
+#include <sstream>
+
+#include "nn/conv_direct.hpp"
+#include "nn/layers.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::nn {
+
+FrozenModel FrozenModel::freeze(const Sequential& model) {
+  DLB_CHECK(model.size() > 0, "cannot freeze an empty model");
+  FrozenModel frozen;
+  frozen.ops_.reserve(model.size());
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    const Layer& layer = model.layer(i);
+    Op op{};
+    if (const auto* conv = dynamic_cast<const Conv2d*>(&layer)) {
+      op.kind = Op::Kind::kConv;
+      op.conv = conv->geom();
+      op.weight = conv->weight().clone();
+      op.bias = conv->bias().clone();
+    } else if (const auto* direct =
+                   dynamic_cast<const Conv2dDirect*>(&layer)) {
+      op.kind = Op::Kind::kConvDirect;
+      op.conv = direct->geom();
+      op.weight = direct->weight().clone();
+      op.bias = direct->bias().clone();
+    } else if (const auto* fc = dynamic_cast<const Linear*>(&layer)) {
+      op.kind = Op::Kind::kLinear;
+      op.weight = fc->weight().clone();
+      op.bias = fc->bias().clone();
+    } else if (const auto* mp = dynamic_cast<const MaxPool2d*>(&layer)) {
+      op.kind = Op::Kind::kMaxPool;
+      op.pool = mp->geom();
+    } else if (const auto* ap = dynamic_cast<const AvgPool2d*>(&layer)) {
+      op.kind = Op::Kind::kAvgPool;
+      op.pool = ap->geom();
+    } else if (dynamic_cast<const ReLU*>(&layer) != nullptr) {
+      op.kind = Op::Kind::kRelu;
+    } else if (dynamic_cast<const Tanh*>(&layer) != nullptr) {
+      op.kind = Op::Kind::kTanh;
+    } else if (const auto* lrn =
+                   dynamic_cast<const LocalResponseNorm*>(&layer)) {
+      op.kind = Op::Kind::kLrn;
+      op.lrn_radius = lrn->radius();
+      op.lrn_k = lrn->bias();
+      op.lrn_alpha = lrn->alpha();
+      op.lrn_beta = lrn->beta();
+    } else if (dynamic_cast<const Flatten*>(&layer) != nullptr) {
+      op.kind = Op::Kind::kFlatten;
+    } else if (dynamic_cast<const Dropout*>(&layer) != nullptr) {
+      continue;  // identity at inference: drop it entirely
+    } else {
+      DLB_CHECK(false, "no inference lowering for layer '"
+                           << layer.describe() << "'");
+    }
+    frozen.ops_.push_back(std::move(op));
+  }
+  return frozen;
+}
+
+Tensor FrozenModel::forward(const Tensor& x,
+                            const runtime::Device& device) const {
+  DLB_CHECK(!ops_.empty(), "empty frozen model");
+  Tensor h = x;
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case Op::Kind::kConv:
+        h = tensor::conv2d_forward(h, op.weight, op.bias, op.conv, device);
+        break;
+      case Op::Kind::kConvDirect:
+        h = conv2d_direct_forward(h, op.weight, op.bias, op.conv, device);
+        break;
+      case Op::Kind::kLinear: {
+        Tensor y = tensor::matmul(h, op.weight, device);
+        tensor::add_row_bias(y, op.bias, device);
+        h = y;
+        break;
+      }
+      case Op::Kind::kMaxPool: {
+        std::vector<std::int32_t> argmax;  // call-local scratch
+        h = tensor::maxpool_forward(h, op.pool, argmax, device);
+        break;
+      }
+      case Op::Kind::kAvgPool:
+        h = tensor::avgpool_forward(h, op.pool, device);
+        break;
+      case Op::Kind::kRelu:
+        h = tensor::relu(h, device);
+        break;
+      case Op::Kind::kTanh:
+        h = tensor::tanh_op(h, device);
+        break;
+      case Op::Kind::kLrn:
+        h = lrn_forward(h, op.lrn_radius, op.lrn_k, op.lrn_alpha, op.lrn_beta,
+                        /*scale_out=*/nullptr, device);
+        break;
+      case Op::Kind::kFlatten: {
+        const std::int64_t n = h.dim(0);
+        h = h.reshape({n, h.numel() / n});
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<std::int64_t> FrozenModel::predict(
+    const Tensor& x, const runtime::Device& device) const {
+  return tensor::argmax_rows(forward(x, device));
+}
+
+std::int64_t FrozenModel::num_params() const {
+  std::int64_t n = 0;
+  for (const Op& op : ops_) n += op.weight.numel() + op.bias.numel();
+  return n;
+}
+
+std::string FrozenModel::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    os << "  (" << i << ") ";
+    switch (op.kind) {
+      case Op::Kind::kConv:
+        os << "conv" << op.conv.kernel << "x" << op.conv.kernel << " "
+           << op.conv.in_c << "->" << op.conv.out_c;
+        break;
+      case Op::Kind::kConvDirect:
+        os << "conv-direct" << op.conv.kernel << "x" << op.conv.kernel << " "
+           << op.conv.in_c << "->" << op.conv.out_c;
+        break;
+      case Op::Kind::kLinear:
+        os << "fc " << op.weight.dim(0) << "->" << op.weight.dim(1);
+        break;
+      case Op::Kind::kMaxPool:
+        os << "maxpool" << op.pool.window << "x" << op.pool.window;
+        break;
+      case Op::Kind::kAvgPool:
+        os << "avgpool" << op.pool.window << "x" << op.pool.window;
+        break;
+      case Op::Kind::kRelu:
+        os << "ReLU";
+        break;
+      case Op::Kind::kTanh:
+        os << "Tanh";
+        break;
+      case Op::Kind::kLrn:
+        os << "lrn r=" << op.lrn_radius;
+        break;
+      case Op::Kind::kFlatten:
+        os << "Flatten";
+        break;
+    }
+    os << " [frozen]\n";
+  }
+  return os.str();
+}
+
+}  // namespace dlbench::nn

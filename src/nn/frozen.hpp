@@ -1,0 +1,78 @@
+#pragma once
+
+// Immutable inference view of a trained model.
+//
+// A Sequential is a *training* object: every layer caches activations
+// during forward() for the following backward(), so two threads cannot
+// share one. Serving needs the opposite contract — many threads running
+// forward passes over one set of weights — so freeze() snapshots a
+// Sequential into a FrozenModel: a flat list of stateless inference ops
+// over deep-copied parameter tensors that are never written again.
+// forward() is const, allocates all scratch per call, and is therefore
+// safe to run concurrently from any number of threads. Copying a
+// FrozenModel copies tensor handles, not buffers, so server replicas
+// share one set of weights (safe precisely because they are immutable).
+//
+// Inference semantics match Sequential::forward with training=false:
+// Dropout is the identity (inverted dropout) and is dropped at freeze
+// time, so outputs are bitwise identical to the training object's
+// eval-mode forward on the same inputs and device.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/conv.hpp"
+#include "tensor/pool.hpp"
+
+namespace dlbench::nn {
+
+/// Thread-safe, const-correct inference snapshot of a Sequential.
+class FrozenModel {
+ public:
+  FrozenModel() = default;
+
+  /// Deep-copies every parameter of `model` into an immutable op list.
+  /// Throws on layer kinds with no inference lowering (none exist in
+  /// this codebase today).
+  static FrozenModel freeze(const Sequential& model);
+
+  /// Logits for a batch. Pure: no member is written, all scratch is
+  /// call-local; concurrent calls on any device are safe.
+  Tensor forward(const Tensor& x, const runtime::Device& device) const;
+
+  /// Predicted class per row of `x`.
+  std::vector<std::int64_t> predict(const Tensor& x,
+                                    const runtime::Device& device) const;
+
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+  std::int64_t num_params() const;
+  std::string describe() const;
+
+ private:
+  struct Op {
+    enum class Kind {
+      kConv,
+      kConvDirect,
+      kLinear,
+      kMaxPool,
+      kAvgPool,
+      kRelu,
+      kTanh,
+      kLrn,
+      kFlatten,
+    };
+    Kind kind;
+    Tensor weight, bias;  // conv/linear; deep copies, never mutated
+    tensor::ConvGeom conv;
+    tensor::PoolGeom pool;
+    std::int64_t lrn_radius = 0;
+    float lrn_k = 0.f, lrn_alpha = 0.f, lrn_beta = 0.f;
+  };
+
+  std::vector<Op> ops_;
+};
+
+}  // namespace dlbench::nn

@@ -206,36 +206,42 @@ std::string LocalResponseNorm::describe() const {
 }
 
 Tensor LocalResponseNorm::forward(const Tensor& x, const Context& ctx) {
-  DLB_CHECK(x.shape().rank() == 4, "LRN expects [N, C, H, W]");
   cached_input_ = x;
+  return lrn_forward(x, radius_, k_, alpha_, beta_, &cached_scale_,
+                     ctx.device);
+}
+
+Tensor lrn_forward(const Tensor& x, std::int64_t radius, float k, float alpha,
+                   float beta, Tensor* scale_out, const Device& device) {
+  DLB_CHECK(x.shape().rank() == 4, "LRN expects [N, C, H, W]");
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::int64_t hw = h * w;
-  cached_scale_ = Tensor(x.shape());
+  if (scale_out != nullptr) *scale_out = Tensor(x.shape());
   Tensor y(x.shape());
   const float* px = x.raw();
-  float* ps = cached_scale_.raw();
+  float* ps = scale_out != nullptr ? scale_out->raw() : nullptr;
   float* py = y.raw();
 
-  ctx.device.parallel_for(
+  device.parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           const float* xi = px + static_cast<std::int64_t>(i) * c * hw;
-          float* si = ps + static_cast<std::int64_t>(i) * c * hw;
+          float* si = ps ? ps + static_cast<std::int64_t>(i) * c * hw : nullptr;
           float* yi = py + static_cast<std::int64_t>(i) * c * hw;
           for (std::int64_t pos = 0; pos < hw; ++pos) {
             for (std::int64_t ch = 0; ch < c; ++ch) {
-              const std::int64_t lo_c = std::max<std::int64_t>(0, ch - radius_);
-              const std::int64_t hi_c = std::min(c - 1, ch + radius_);
+              const std::int64_t lo_c = std::max<std::int64_t>(0, ch - radius);
+              const std::int64_t hi_c = std::min(c - 1, ch + radius);
               float acc = 0.f;
               for (std::int64_t j = lo_c; j <= hi_c; ++j) {
                 const float v = xi[j * hw + pos];
                 acc += v * v;
               }
-              const float scale = k_ + alpha_ * acc;
-              si[ch * hw + pos] = scale;
+              const float scale = k + alpha * acc;
+              if (si) si[ch * hw + pos] = scale;
               yi[ch * hw + pos] =
-                  xi[ch * hw + pos] * pow_neg_beta(scale, beta_);
+                  xi[ch * hw + pos] * pow_neg_beta(scale, beta);
             }
           }
         }

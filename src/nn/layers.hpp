@@ -29,6 +29,8 @@ class Conv2d final : public Layer {
   std::vector<Tensor*> grads() override { return {&dweight_, &dbias_}; }
 
   const tensor::ConvGeom& geom() const { return geom_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
 
  private:
   tensor::ConvGeom geom_;
@@ -50,6 +52,8 @@ class Linear final : public Layer {
 
   std::int64_t in_features() const { return in_; }
   std::int64_t out_features() const { return out_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
 
  private:
   std::int64_t in_, out_;
@@ -66,6 +70,8 @@ class MaxPool2d final : public Layer {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
 
+  const tensor::PoolGeom& geom() const { return geom_; }
+
  private:
   tensor::PoolGeom geom_;
   std::vector<std::int32_t> argmax_;
@@ -79,6 +85,8 @@ class AvgPool2d final : public Layer {
   std::string describe() const override;
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
+
+  const tensor::PoolGeom& geom() const { return geom_; }
 
  private:
   tensor::PoolGeom geom_;
@@ -135,6 +143,11 @@ class LocalResponseNorm final : public Layer {
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
 
+  std::int64_t radius() const { return radius_; }
+  float bias() const { return k_; }
+  float alpha() const { return alpha_; }
+  float beta() const { return beta_; }
+
  private:
   std::int64_t radius_;
   float k_, alpha_, beta_;
@@ -151,5 +164,12 @@ class Flatten final : public Layer {
  private:
   tensor::Shape input_shape_;
 };
+
+/// LRN forward math, shared by the training layer and the frozen
+/// inference view (nn/frozen.hpp). `scale_out`, when non-null, receives
+/// the per-element k + alpha * window-sum tensor the backward pass
+/// needs; the frozen path passes nullptr and skips that allocation.
+Tensor lrn_forward(const Tensor& x, std::int64_t radius, float k, float alpha,
+                   float beta, Tensor* scale_out, const Device& device);
 
 }  // namespace dlbench::nn

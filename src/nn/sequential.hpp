@@ -32,6 +32,7 @@ class Sequential {
 
   std::size_t size() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
   /// Plain forward pass, logits out.
   Tensor forward(const Tensor& x, const Context& ctx);

@@ -1,0 +1,134 @@
+#include "runtime/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace dlbench::runtime {
+
+namespace {
+
+// Adaptive duration formatting for summary lines.
+std::string fmt_duration(double seconds) {
+  char buf[32];
+  if (seconds >= 1.0)
+    std::snprintf(buf, sizeof(buf), "%.3gs", seconds);
+  else if (seconds >= 1e-3)
+    std::snprintf(buf, sizeof(buf), "%.3gms", seconds * 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.3gus", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+}
+
+int LatencyHistogram::bucket_index(std::int64_t ns) {
+  // Width of the value in bits; |1 keeps countl_zero defined for 0.
+  const int w =
+      64 - std::countl_zero(static_cast<std::uint64_t>(ns) | 1);
+  const int shift = w - kSubBits;
+  if (shift <= 0) return static_cast<int>(ns);  // exact region
+  return static_cast<int>(shift * kHalf + (ns >> shift));
+}
+
+std::int64_t LatencyHistogram::bucket_mid_ns(int index) {
+  if (index < kPrecisionBuckets) return index;
+  const int shift = index / static_cast<int>(kHalf) - 1;
+  const std::int64_t top = index - std::int64_t{shift} * kHalf;
+  const std::int64_t lower = top << shift;
+  return lower + ((std::int64_t{1} << shift) >> 1);
+}
+
+void LatencyHistogram::record_ns(std::int64_t ns) {
+  if (ns < 0) ns = 0;
+  if (count_ == 0) {
+    min_ns_ = max_ns_ = ns;
+  } else {
+    min_ns_ = std::min(min_ns_, ns);
+    max_ns_ = std::max(max_ns_, ns);
+  }
+  ++count_;
+  sum_ns_ += ns;
+  ++buckets_[bucket_index(ns)];
+}
+
+void LatencyHistogram::record_s(double seconds) {
+  record_ns(static_cast<std::int64_t>(std::llround(seconds * 1e9)));
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ns_ = other.min_ns_;
+    max_ns_ = other.max_ns_;
+  } else {
+    min_ns_ = std::min(min_ns_, other.min_ns_);
+    max_ns_ = std::max(max_ns_, other.max_ns_);
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void LatencyHistogram::reset() {
+  std::memset(buckets_, 0, sizeof(buckets_));
+  count_ = min_ns_ = max_ns_ = sum_ns_ = 0;
+}
+
+double LatencyHistogram::min_s() const { return 1e-9 * static_cast<double>(min_ns_); }
+double LatencyHistogram::max_s() const { return 1e-9 * static_cast<double>(max_ns_); }
+
+double LatencyHistogram::total_s() const {
+  return 1e-9 * static_cast<double>(sum_ns_);
+}
+
+double LatencyHistogram::mean_s() const {
+  if (count_ == 0) return 0.0;
+  return total_s() / static_cast<double>(count_);
+}
+
+double LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_s();
+  if (p >= 100.0) return max_s();
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      const std::int64_t mid =
+          std::clamp(bucket_mid_ns(i), min_ns_, max_ns_);
+      return 1e-9 * static_cast<double>(mid);
+    }
+  }
+  return max_s();  // unreachable: counts sum to count_
+}
+
+std::string LatencyHistogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_;
+  if (count_ == 0) return os.str();
+  os << " mean=" << fmt_duration(mean_s())
+     << " p50=" << fmt_duration(percentile(50))
+     << " p95=" << fmt_duration(percentile(95))
+     << " p99=" << fmt_duration(percentile(99))
+     << " p999=" << fmt_duration(percentile(99.9))
+     << " max=" << fmt_duration(max_s());
+  return os.str();
+}
+
+bool LatencyHistogram::operator==(const LatencyHistogram& other) const {
+  return count_ == other.count_ && min_ns_ == other.min_ns_ &&
+         max_ns_ == other.max_ns_ && sum_ns_ == other.sum_ns_ &&
+         std::memcmp(buckets_, other.buckets_, sizeof(buckets_)) == 0;
+}
+
+}  // namespace dlbench::runtime

@@ -253,6 +253,20 @@ void Span::record() {
       SpanEvent{name_, category_, start_ns_, now_ns() - start_ns_});
 }
 
+void detail::record_span_slow(const char* name, const char* category,
+                              std::int64_t start_ns, std::int64_t end_ns) {
+  State* s = active_state();
+  if (!s || s->epoch_ns > start_ns) return;  // scope changed mid-span
+  ThreadBuffer* buf = buffer_for(s);
+  if (static_cast<std::int64_t>(buf->spans.size()) >=
+      s->options.max_events_per_thread) {
+    ++buf->dropped;
+    return;
+  }
+  buf->spans.push_back(SpanEvent{name, category, start_ns,
+                                 std::max<std::int64_t>(0, end_ns - start_ns)});
+}
+
 void detail::counter_add_slow(const char* name, std::int64_t delta) {
   State* s = active_state();
   if (!s) return;

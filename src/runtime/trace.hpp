@@ -162,7 +162,24 @@ class Span {
 namespace detail {
 void counter_add_slow(const char* name, std::int64_t delta);
 void gauge_record_slow(const char* name, std::int64_t value);
+void record_span_slow(const char* name, const char* category,
+                      std::int64_t start_ns, std::int64_t end_ns);
 }  // namespace detail
+
+/// Current value of the trace clock, for record_span(). Valid whether
+/// or not a scope is active.
+inline std::int64_t clock_ns() { return detail::clock_now_ns(); }
+
+/// Records a completed span with explicit endpoints (clock_ns() values).
+/// This is how cross-thread waits are traced: the serving layer stamps
+/// a request at enqueue on the client thread and emits the
+/// "serve.enqueue_wait" span from the worker that dequeued it — an RAII
+/// Span cannot straddle threads. Spans starting before the active
+/// scope did are dropped, matching Span::record().
+inline void record_span(const char* name, const char* category,
+                        std::int64_t start_ns, std::int64_t end_ns) {
+  if (enabled()) detail::record_span_slow(name, category, start_ns, end_ns);
+}
 
 /// Adds `delta` to the named monotonic counter.
 inline void counter_add(const char* name, std::int64_t delta) {
@@ -190,6 +207,9 @@ class TraceScope {
 
 inline bool enabled() { return false; }
 inline const char* intern(const std::string&) { return ""; }
+inline std::int64_t clock_ns() { return 0; }
+inline void record_span(const char*, const char*, std::int64_t,
+                        std::int64_t) {}
 
 class Span {
  public:
@@ -212,7 +232,10 @@ inline void gauge_record(const char*, std::int64_t) {}
 //   data    data.next_batch
 //   eval    eval.batch
 //   io      checkpoint.save, checkpoint.load
+//   serve   serve.enqueue_wait, serve.assemble, serve.forward,
+//           serve.scatter
 // Counters: tensor.allocs, tensor.bytes, pool.tasks, optim.steps,
-// train.rollbacks. Gauges: pool.queue_depth.
+// train.rollbacks, serve.requests, serve.rejected, serve.batches.
+// Gauges: pool.queue_depth, serve.queue_depth.
 
 }  // namespace dlbench::runtime::trace

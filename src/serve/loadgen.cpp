@@ -1,0 +1,169 @@
+#include "serve/loadgen.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dlbench::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Per-thread tallies, merged after the run (no locking while driving).
+struct ClientTally {
+  /// Wall clock of the *dispatch* window, excluding the final drain of
+  /// in-flight futures — offered load is issued / this, else an
+  /// overloaded server's slow drain would deflate the offered rate it
+  /// was in fact subjected to.
+  double dispatch_s = 0.0;
+  std::int64_t issued = 0;
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;
+  std::int64_t shutdown = 0;
+  std::int64_t batch_sum = 0;
+  runtime::LatencyHistogram latency;
+  runtime::LatencyHistogram queue_wait;
+
+  void absorb(const Prediction& p) {
+    switch (p.status) {
+      case RequestStatus::kOk:
+        ++ok;
+        batch_sum += p.batch_size;
+        latency.record_s(p.total_s);
+        queue_wait.record_s(p.queue_wait_s);
+        break;
+      case RequestStatus::kRejected:
+        ++rejected;
+        break;
+      case RequestStatus::kShutdown:
+        ++shutdown;
+        break;
+    }
+  }
+
+  void merge(const ClientTally& other) {
+    issued += other.issued;
+    ok += other.ok;
+    rejected += other.rejected;
+    shutdown += other.shutdown;
+    batch_sum += other.batch_sum;
+    latency.merge(other.latency);
+    queue_wait.merge(other.queue_wait);
+  }
+};
+
+ClientTally run_closed(ModelServer& server,
+                       const std::vector<tensor::Tensor>& inputs,
+                       const LoadGenOptions& options) {
+  const int clients = std::max(1, options.clients);
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  util::Rng seeder(options.seed);
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_s));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c, rng = seeder.fork()]() mutable {
+      ClientTally& tally = tallies[static_cast<std::size_t>(c)];
+      while (Clock::now() < deadline) {
+        const auto& input = inputs[rng.uniform_index(inputs.size())];
+        ++tally.issued;
+        tally.absorb(server.predict(input));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ClientTally total;
+  for (const auto& tally : tallies) total.merge(tally);
+  total.dispatch_s = seconds_since(start);
+  return total;
+}
+
+ClientTally run_open(ModelServer& server,
+                     const std::vector<tensor::Tensor>& inputs,
+                     const LoadGenOptions& options) {
+  DLB_CHECK(options.offered_rps > 0.0,
+            "open-loop load needs offered_rps > 0");
+  util::Rng rng(options.seed);
+  ClientTally tally;
+  std::vector<std::future<Prediction>> futures;
+  futures.reserve(
+      static_cast<std::size_t>(options.offered_rps * options.duration_s) + 16);
+
+  // Poisson process: exponential inter-arrival gaps at the offered
+  // rate, dispatched on an absolute schedule (next += gap) so transient
+  // stalls don't silently lower the offered load — the open-loop
+  // discipline is the whole point.
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_s));
+  auto next = start;
+  while (next < deadline) {
+    std::this_thread::sleep_until(next);
+    const auto& input = inputs[rng.uniform_index(inputs.size())];
+    ++tally.issued;
+    futures.push_back(server.submit(input));
+    const double gap_s = -std::log(1.0 - rng.uniform()) / options.offered_rps;
+    next += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(gap_s));
+  }
+  tally.dispatch_s = seconds_since(start);
+  for (auto& future : futures) tally.absorb(future.get());
+  return tally;
+}
+
+}  // namespace
+
+const char* to_string(LoadGenOptions::Mode mode) {
+  switch (mode) {
+    case LoadGenOptions::Mode::kOpenLoop:
+      return "open";
+    case LoadGenOptions::Mode::kClosedLoop:
+      return "closed";
+  }
+  return "unknown";
+}
+
+LoadGenResult run_load(ModelServer& server,
+                       const std::vector<tensor::Tensor>& inputs,
+                       const LoadGenOptions& options) {
+  DLB_CHECK(!inputs.empty(), "run_load needs at least one input sample");
+  DLB_CHECK(options.duration_s > 0.0, "run_load needs duration_s > 0");
+
+  const auto start = Clock::now();
+  const ClientTally tally = options.mode == LoadGenOptions::Mode::kOpenLoop
+                                ? run_open(server, inputs, options)
+                                : run_closed(server, inputs, options);
+  const double wall_s = seconds_since(start);
+
+  LoadGenResult result;
+  result.duration_s = wall_s;
+  result.issued = tally.issued;
+  result.ok = tally.ok;
+  result.rejected = tally.rejected;
+  result.shutdown = tally.shutdown;
+  result.offered_rps = static_cast<double>(tally.issued) / tally.dispatch_s;
+  result.achieved_rps = static_cast<double>(tally.ok) / wall_s;
+  result.latency = tally.latency;
+  result.queue_wait = tally.queue_wait;
+  result.mean_batch =
+      tally.ok > 0 ? static_cast<double>(tally.batch_sum) /
+                         static_cast<double>(tally.ok)
+                   : 0.0;
+  return result;
+}
+
+}  // namespace dlbench::serve

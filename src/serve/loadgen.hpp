@@ -1,0 +1,74 @@
+#pragma once
+
+// Load generation against a ModelServer.
+//
+// Two disciplines, because they measure different things:
+//
+//   Open loop — a dispatcher issues requests on a Poisson process at a
+//   fixed offered rate, regardless of how the server is keeping up.
+//   This is the right model for external traffic and the only one that
+//   exposes queueing collapse: past saturation the latency distribution
+//   degrades and admission control starts shedding, while a closed loop
+//   would silently self-throttle (coordinated omission).
+//
+//   Closed loop — N client threads each keep exactly one request in
+//   flight (submit, wait, repeat). Offered load adapts to service rate;
+//   this measures peak sustainable throughput and per-request latency
+//   without queueing inflation.
+//
+// Each client/dispatcher records into its own LatencyHistogram; results
+// are merged at the end (exercising the histogram's exact merge).
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/histogram.hpp"
+#include "serve/server.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlbench::serve {
+
+/// One load-generation run's policy.
+struct LoadGenOptions {
+  enum class Mode {
+    kOpenLoop,    // Poisson arrivals at offered_rps
+    kClosedLoop,  // `clients` threads, one request in flight each
+  };
+  Mode mode = Mode::kClosedLoop;
+  /// Target arrival rate, requests/second (open loop only).
+  double offered_rps = 1000.0;
+  /// Concurrent client threads (closed loop only).
+  int clients = 4;
+  double duration_s = 0.5;
+  /// Seed for arrival-gap sampling and input selection.
+  std::uint64_t seed = 7;
+};
+
+const char* to_string(LoadGenOptions::Mode mode);
+
+/// Client-side view of one run (server-side counters live in
+/// ServerStats; the two are reported together by bench_serve).
+struct LoadGenResult {
+  double duration_s = 0.0;     // wall clock incl. draining in-flight work
+  double offered_rps = 0.0;    // issued / dispatch window (excl. drain)
+  double achieved_rps = 0.0;   // ok / duration_s
+  std::int64_t issued = 0;
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;
+  std::int64_t shutdown = 0;
+  /// End-to-end latency of ok requests (client-observed).
+  runtime::LatencyHistogram latency;
+  /// Queue wait of ok requests, as reported by the server.
+  runtime::LatencyHistogram queue_wait;
+  /// Mean batch size the ok requests rode in.
+  double mean_batch = 0.0;
+};
+
+/// Drives `server` with samples cycled from `inputs` (each of the
+/// server's sample_shape) for options.duration_s. Blocks until every
+/// issued request has resolved.
+LoadGenResult run_load(ModelServer& server,
+                       const std::vector<tensor::Tensor>& inputs,
+                       const LoadGenOptions& options);
+
+}  // namespace dlbench::serve

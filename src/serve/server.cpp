@@ -1,0 +1,325 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <utility>
+
+#include "runtime/trace.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::serve {
+
+namespace trace = runtime::trace;
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+void StageLatencies::merge(const StageLatencies& other) {
+  queue_wait.merge(other.queue_wait);
+  assemble.merge(other.assemble);
+  forward.merge(other.forward);
+  scatter.merge(other.scatter);
+  total.merge(other.total);
+}
+
+namespace {
+
+// Monotonic nanoseconds on the same clock the trace subsystem stamps
+// spans with, so enqueue timestamps taken on client threads line up
+// with worker-side span endpoints. With tracing compiled out
+// trace::clock_ns() returns 0, so fall back to steady_clock.
+std::int64_t now_ns() {
+  if constexpr (trace::compiled()) {
+    return trace::clock_ns();
+  } else {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+}
+
+Prediction make_failure(RequestStatus status) {
+  Prediction p;
+  p.status = status;
+  return p;
+}
+
+}  // namespace
+
+ModelServer::ModelServer(nn::FrozenModel model, ServerOptions options)
+    : options_(std::move(options)), model_(std::move(model)) {
+  DLB_CHECK(!model_.empty(), "ModelServer needs a non-empty model");
+  DLB_CHECK(options_.sample_shape.numel() > 0,
+            "ServerOptions::sample_shape is required");
+  DLB_CHECK(options_.sample_shape.rank() >= 1 &&
+                options_.sample_shape.rank() < tensor::Shape::kMaxRank,
+            "sample_shape must leave room for the batch dimension");
+  DLB_CHECK(options_.replicas >= 1, "need at least one replica");
+  DLB_CHECK(options_.max_batch >= 1, "max_batch must be positive");
+  DLB_CHECK(options_.max_batch_delay_s >= 0.0,
+            "max_batch_delay_s must be non-negative");
+  DLB_CHECK(options_.queue_capacity >= 1, "queue_capacity must be positive");
+  if (options_.reject_watermark == 0)
+    options_.reject_watermark = std::max<std::size_t>(
+        1, options_.queue_capacity - options_.queue_capacity / 4);
+  DLB_CHECK(options_.reject_watermark <= options_.queue_capacity,
+            "reject_watermark cannot exceed queue_capacity");
+
+  replicas_.reserve(static_cast<std::size_t>(options_.replicas));
+  for (int i = 0; i < options_.replicas; ++i)
+    replicas_.push_back(std::make_unique<Replica>(model_));
+  // Threads start only after every Replica is constructed so replicas_
+  // is never resized while a worker runs.
+  for (auto& replica : replicas_)
+    replica->thread = std::thread([this, r = replica.get()] {
+      replica_loop(*r);
+    });
+}
+
+ModelServer::~ModelServer() {
+  shutdown(/*drain=*/true);
+  for (auto& replica : replicas_)
+    if (replica->thread.joinable()) replica->thread.join();
+}
+
+std::future<Prediction> ModelServer::submit(tensor::Tensor input) {
+  DLB_CHECK(input.shape() == options_.sample_shape,
+            "request shape " + input.shape().to_string() +
+                " != sample_shape " + options_.sample_shape.to_string());
+  std::promise<Prediction> promise;
+  std::future<Prediction> future = promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++submitted_;
+  if (stopping_) {
+    ++rejected_shutdown_;
+    lock.unlock();
+    promise.set_value(make_failure(RequestStatus::kShutdown));
+    return future;
+  }
+  if (queue_.size() >= options_.reject_watermark) {
+    ++rejected_;
+    lock.unlock();
+    trace::counter_add("serve.requests", 1);
+    trace::counter_add("serve.rejected", 1);
+    promise.set_value(make_failure(RequestStatus::kRejected));
+    return future;
+  }
+  ++accepted_;
+  Pending pending;
+  pending.input = std::move(input);
+  pending.promise = std::move(promise);
+  pending.enqueue_ns = now_ns();
+  queue_.push_back(std::move(pending));
+  const auto depth = static_cast<std::int64_t>(queue_.size());
+  max_queue_depth_ = std::max(max_queue_depth_, depth);
+  lock.unlock();
+  trace::counter_add("serve.requests", 1);
+  trace::gauge_record("serve.queue_depth", depth);
+  cv_.notify_one();
+  return future;
+}
+
+Prediction ModelServer::predict(tensor::Tensor input) {
+  return submit(std::move(input)).get();
+}
+
+void ModelServer::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && drain_ <= drain) return;  // idempotent
+    stopping_ = true;
+    drain_ = drain;
+    if (!drain) {
+      for (auto& pending : queue_)
+        pending.promise.set_value(make_failure(RequestStatus::kShutdown));
+      queue_.clear();
+    }
+  }
+  cv_.notify_all();
+}
+
+std::size_t ModelServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ServerStats ModelServer::stats() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.submitted = submitted_;
+    stats.accepted = accepted_;
+    stats.rejected = rejected_;
+    stats.rejected_shutdown = rejected_shutdown_;
+    stats.max_queue_depth = max_queue_depth_;
+  }
+  for (const auto& replica : replicas_) {
+    std::lock_guard<std::mutex> lock(replica->mu);
+    stats.completed += replica->completed;
+    stats.batches += replica->batches;
+    stats.busy_s += replica->busy_s;
+    stats.latency.merge(replica->lat);
+  }
+  return stats;
+}
+
+void ModelServer::replica_loop(Replica& replica) {
+  const auto delay = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(options_.max_batch_delay_s * 1e9));
+  std::vector<Pending> batch;
+  batch.reserve(static_cast<std::size_t>(options_.max_batch));
+
+  for (;;) {
+    batch.clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping && drained
+
+    // Greedy grab, then linger: take everything available up to
+    // max_batch; if short and a delay is configured, wait for more
+    // until the *oldest* request in the batch hits its deadline. The
+    // deadline is anchored at that request's enqueue time, not at the
+    // grab, so no request's queueing is extended past max_batch_delay_s
+    // by the batcher itself.
+    auto take_available = [&] {
+      while (!queue_.empty() &&
+             static_cast<std::int64_t>(batch.size()) < options_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    };
+    take_available();
+    if (static_cast<std::int64_t>(batch.size()) < options_.max_batch &&
+        delay.count() > 0) {
+      const std::int64_t deadline_ns = batch.front().enqueue_ns + delay.count();
+      while (static_cast<std::int64_t>(batch.size()) < options_.max_batch &&
+             !stopping_) {
+        const std::int64_t remaining_ns = deadline_ns - now_ns();
+        if (remaining_ns <= 0) break;
+        cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns));
+        take_available();
+      }
+      take_available();
+    }
+    const bool more_work = !queue_.empty();
+    lock.unlock();
+    // Another replica may be able to start on what we left behind.
+    if (more_work) cv_.notify_one();
+
+    process_batch(replica, batch);
+  }
+}
+
+void ModelServer::process_batch(Replica& replica, std::vector<Pending>& batch) {
+  const std::int64_t batch_size = static_cast<std::int64_t>(batch.size());
+  const std::int64_t start_ns = now_ns();
+
+  // Queue wait ends now, as assembly begins. Emitted with explicit
+  // endpoints because the span started on the client thread.
+  StageLatencies lat;
+  for (const Pending& pending : batch) {
+    lat.queue_wait.record_ns(start_ns - pending.enqueue_ns);
+    trace::record_span("serve.enqueue_wait", "serve", pending.enqueue_ns,
+                       start_ns);
+  }
+
+  // Assemble: gather request samples into one [B, ...sample] tensor.
+  tensor::Tensor batched;
+  {
+    trace::Span span("serve.assemble", "serve");
+    const tensor::Shape& sample = options_.sample_shape;
+    tensor::Shape batched_shape;
+    switch (sample.rank()) {
+      case 1:
+        batched_shape = {batch_size, sample[0]};
+        break;
+      case 2:
+        batched_shape = {batch_size, sample[0], sample[1]};
+        break;
+      default:
+        batched_shape = {batch_size, sample[0], sample[1], sample[2]};
+        break;
+    }
+    batched = tensor::Tensor(batched_shape);
+    const std::int64_t stride = sample.numel();
+    float* dst = batched.raw();
+    for (std::int64_t i = 0; i < batch_size; ++i)
+      std::memcpy(dst + i * stride, batch[static_cast<std::size_t>(i)]
+                      .input.raw(),
+                  static_cast<std::size_t>(stride) * sizeof(float));
+  }
+  const std::int64_t assembled_ns = now_ns();
+
+  // Forward: one batched pass over the shared frozen weights.
+  tensor::Tensor logits;
+  tensor::Tensor probs;
+  {
+    trace::Span span("serve.forward", "serve");
+    logits = replica.model.forward(batched, options_.device);
+    if (options_.compute_probabilities)
+      probs = tensor::softmax_rows(logits, options_.device);
+  }
+  const std::int64_t forwarded_ns = now_ns();
+
+  // Scatter: materialize per-request results (argmax + probabilities).
+  std::vector<Prediction> results(static_cast<std::size_t>(batch_size));
+  {
+    trace::Span span("serve.scatter", "serve");
+    const std::int64_t classes = logits.shape().dim(-1);
+    const float* logit_rows = logits.raw();
+    for (std::int64_t i = 0; i < batch_size; ++i) {
+      Prediction& result = results[static_cast<std::size_t>(i)];
+      result.status = RequestStatus::kOk;
+      const float* row = logit_rows + i * classes;
+      result.label = static_cast<std::int64_t>(
+          std::max_element(row, row + classes) - row);
+      if (options_.compute_probabilities) {
+        const float* prow = probs.raw() + i * classes;
+        result.probabilities.assign(prow, prow + classes);
+      }
+      result.batch_size = batch_size;
+      result.queue_wait_s =
+          static_cast<double>(start_ns - batch[static_cast<std::size_t>(i)]
+                                             .enqueue_ns) * 1e-9;
+      const std::int64_t total_ns =
+          now_ns() - batch[static_cast<std::size_t>(i)].enqueue_ns;
+      result.total_s = static_cast<double>(total_ns) * 1e-9;
+      lat.total.record_ns(total_ns);
+    }
+  }
+  const std::int64_t end_ns = now_ns();
+
+  lat.assemble.record_ns(assembled_ns - start_ns);
+  lat.forward.record_ns(forwarded_ns - assembled_ns);
+  lat.scatter.record_ns(end_ns - forwarded_ns);
+  trace::counter_add("serve.batches", 1);
+
+  // Accounting commits before the promises resolve, so a client that
+  // just observed its future may immediately read stats() and find its
+  // own request counted.
+  {
+    std::lock_guard<std::mutex> lock(replica.mu);
+    replica.lat.merge(lat);
+    replica.completed += batch_size;
+    replica.batches += 1;
+    replica.busy_s += static_cast<double>(end_ns - start_ns) * 1e-9;
+  }
+  for (std::int64_t i = 0; i < batch_size; ++i)
+    batch[static_cast<std::size_t>(i)].promise.set_value(
+        std::move(results[static_cast<std::size_t>(i)]));
+}
+
+}  // namespace dlbench::serve

@@ -1,0 +1,201 @@
+#pragma once
+
+// In-process inference serving: dynamic batching, replicas,
+// backpressure.
+//
+// The paper's "testing time" metric family measures offline batch
+// inference only; its follow-up (the DLaaS measurement study, Wu et
+// al.) shows that the serving-side concerns — request batching,
+// concurrency, tail latency — dominate deployment cost. ModelServer is
+// that missing layer: clients submit single-sample requests and get
+// futures; N replica worker threads pull from one bounded queue through
+// a dynamic batcher (flush on max-batch-size or max-queue-delay,
+// whichever comes first), run one batched forward over an immutable
+// FrozenModel, and scatter per-request results back through the
+// futures.
+//
+// Overload policy is shed-at-admission: once queue depth reaches
+// `reject_watermark` a request is completed immediately with
+// RequestStatus::kRejected instead of being enqueued, so queue memory
+// is bounded by the watermark no matter the offered load — the
+// backpressure signal is an explicit status, never unbounded growth.
+//
+// Every stage is measured twice: into reusable LatencyHistograms
+// (per-replica, merged on stats()) and as runtime/trace spans
+// ("serve.enqueue_wait" / "serve.assemble" / "serve.forward" /
+// "serve.scatter"), so chrome://tracing shows the batching pipeline
+// whenever a TraceScope is active.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nn/frozen.hpp"
+#include "runtime/device.hpp"
+#include "runtime/histogram.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dlbench::serve {
+
+/// Terminal status of one request.
+enum class RequestStatus {
+  kOk,        // served
+  kRejected,  // shed at admission: queue depth >= reject_watermark
+  kShutdown,  // submitted after shutdown began
+};
+const char* to_string(RequestStatus status);
+
+/// What a client's future resolves to.
+struct Prediction {
+  RequestStatus status = RequestStatus::kOk;
+  /// Argmax class (kOk only).
+  std::int64_t label = -1;
+  /// Softmax row (kOk and ServerOptions::compute_probabilities only).
+  std::vector<float> probabilities;
+  /// Size of the batch this request rode in.
+  std::int64_t batch_size = 0;
+  /// Seconds spent waiting in the queue before batch assembly began.
+  double queue_wait_s = 0.0;
+  /// End-to-end seconds, submit to scatter.
+  double total_s = 0.0;
+};
+
+/// Serving policy for one ModelServer.
+struct ServerOptions {
+  /// Shape of one request sample (the model input without the batch
+  /// dimension), e.g. [1, 28, 28]. Required.
+  tensor::Shape sample_shape;
+  /// Replica worker threads.
+  int replicas = 2;
+  /// Batcher flush threshold: a batch never exceeds this many requests.
+  std::int64_t max_batch = 8;
+  /// Batcher flush deadline: a batch is dispatched once its oldest
+  /// request has waited this long, full or not. 0 = dispatch whatever
+  /// is immediately available (no lingering).
+  double max_batch_delay_s = 0.002;
+  /// Admission control: submissions are rejected while queue depth is
+  /// at or above this. 0 picks 3/4 of queue_capacity.
+  std::size_t reject_watermark = 0;
+  /// Hard queue bound (sanity ceiling above the watermark).
+  std::size_t queue_capacity = 1024;
+  /// Device each replica runs its batched forward on. The serial CPU
+  /// device gives replica-level parallelism (one core per replica);
+  /// the parallel device spreads each batch across the pool, which is
+  /// how batch size buys throughput GPU-style.
+  runtime::Device device = runtime::Device::cpu();
+  /// Attach a softmax row to every Prediction. Costs one row copy per
+  /// request; throughput sweeps turn it off.
+  bool compute_probabilities = true;
+};
+
+/// Per-stage latency distributions (merged across replicas).
+struct StageLatencies {
+  runtime::LatencyHistogram queue_wait;  // submit → dequeued, per request
+  runtime::LatencyHistogram assemble;    // gather into batch tensor, per batch
+  runtime::LatencyHistogram forward;     // batched forward, per batch
+  runtime::LatencyHistogram scatter;     // results → futures, per batch
+  runtime::LatencyHistogram total;       // submit → future set, per request
+
+  void merge(const StageLatencies& other);
+};
+
+/// Snapshot of server counters + latency distributions.
+struct ServerStats {
+  std::int64_t submitted = 0;
+  std::int64_t accepted = 0;
+  std::int64_t rejected = 0;          // shed by admission control
+  std::int64_t rejected_shutdown = 0; // submitted after shutdown
+  std::int64_t completed = 0;         // served OK
+  std::int64_t batches = 0;
+  std::int64_t max_queue_depth = 0;
+  /// Sum of replica wall-clock spent processing batches.
+  double busy_s = 0.0;
+  StageLatencies latency;
+
+  /// Mean requests per dispatched batch.
+  double mean_batch_size() const {
+    return batches > 0
+               ? static_cast<double>(completed) / static_cast<double>(batches)
+               : 0.0;
+  }
+};
+
+/// A serving endpoint over one frozen model. Thread-safe: submit() from
+/// any number of client threads. Destruction drains accepted requests,
+/// then joins the replicas.
+class ModelServer {
+ public:
+  ModelServer(nn::FrozenModel model, ServerOptions options);
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+  ~ModelServer();
+
+  /// Submits one sample (shape must equal options().sample_shape).
+  /// Never blocks: over the watermark the future resolves immediately
+  /// with kRejected. The tensor is aliased, not copied — callers must
+  /// not mutate it until the future resolves.
+  std::future<Prediction> submit(tensor::Tensor input);
+
+  /// Synchronous convenience: submit + wait.
+  Prediction predict(tensor::Tensor input);
+
+  /// Stops admission; accepted requests are still served (`drain`), or
+  /// failed with kShutdown (!`drain`). Idempotent; the destructor calls
+  /// shutdown(true).
+  void shutdown(bool drain = true);
+
+  /// Counters + merged per-stage latency histograms.
+  ServerStats stats() const;
+
+  std::size_t queue_depth() const;
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    tensor::Tensor input;
+    std::promise<Prediction> promise;
+    std::int64_t enqueue_ns = 0;
+  };
+
+  /// Per-replica state. Latency histograms are owned by the replica and
+  /// only touched under `mu`, which stats() also takes — the histogram
+  /// itself needs no internal synchronization (see runtime/histogram).
+  struct Replica {
+    const nn::FrozenModel model;  // handle copy; storage shared, immutable
+    std::thread thread;
+    mutable std::mutex mu;
+    StageLatencies lat;
+    std::int64_t batches = 0;
+    std::int64_t completed = 0;
+    double busy_s = 0.0;
+
+    explicit Replica(nn::FrozenModel m) : model(std::move(m)) {}
+  };
+
+  void replica_loop(Replica& replica);
+  void process_batch(Replica& replica, std::vector<Pending>& batch);
+
+  ServerOptions options_;
+  nn::FrozenModel model_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  bool drain_ = true;
+  std::int64_t submitted_ = 0;
+  std::int64_t accepted_ = 0;
+  std::int64_t rejected_ = 0;
+  std::int64_t rejected_shutdown_ = 0;
+  std::int64_t max_queue_depth_ = 0;
+
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+}  // namespace dlbench::serve

@@ -1,0 +1,441 @@
+// ModelServer: batched-vs-single bitwise parity per framework
+// emulation, backpressure bounds, batching behaviour, shutdown
+// semantics, and stats/trace accounting.
+
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "frameworks/predictor.hpp"
+#include "nn/frozen.hpp"
+#include "runtime/trace.hpp"
+#include "serve/loadgen.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dlbench::frameworks::DatasetId;
+using dlbench::frameworks::FrameworkKind;
+using dlbench::frameworks::make_predictor;
+using dlbench::frameworks::PredictorConfig;
+using dlbench::runtime::Device;
+using dlbench::serve::LoadGenOptions;
+using dlbench::serve::ModelServer;
+using dlbench::serve::Prediction;
+using dlbench::serve::RequestStatus;
+using dlbench::serve::ServerOptions;
+using dlbench::serve::ServerStats;
+using dlbench::tensor::Shape;
+using dlbench::tensor::Tensor;
+
+std::vector<Tensor> random_samples(const Shape& shape, int count,
+                                   std::uint64_t seed) {
+  dlbench::util::Rng rng(seed);
+  std::vector<Tensor> samples;
+  samples.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    samples.push_back(Tensor::randn(shape, rng));
+  return samples;
+}
+
+/// Batches a single [C, H, W] sample into [1, C, H, W].
+Tensor with_batch_dim(const Tensor& sample) {
+  const Shape& s = sample.shape();
+  return sample.reshape({1, s[0], s[1], s[2]});
+}
+
+ServerOptions mnist_options() {
+  ServerOptions opts;
+  opts.sample_shape = dlbench::frameworks::sample_shape(DatasetId::kMnist);
+  opts.replicas = 2;
+  opts.max_batch = 4;
+  opts.max_batch_delay_s = 0.01;
+  return opts;
+}
+
+// ---- batched-vs-single parity ------------------------------------------
+
+/// The load-bearing property behind dynamic batching: riding in a batch
+/// must not change a request's answer. Every kernel in the frozen
+/// forward computes each sample independently with a fixed summation
+/// order, so outputs must be *bitwise* identical to a single-sample
+/// forward — per framework emulation, since each picks different
+/// kernels (Torch: direct conv) and architectures.
+class BatchParityTest : public ::testing::TestWithParam<FrameworkKind> {};
+
+TEST_P(BatchParityTest, ServerMatchesSingleSampleForwardBitwise) {
+  PredictorConfig config;
+  config.framework = GetParam();
+  config.dataset = DatasetId::kMnist;
+  const auto model = make_predictor(config);
+
+  const auto samples =
+      random_samples(dlbench::frameworks::sample_shape(DatasetId::kMnist),
+                     12, /*seed=*/42);
+
+  // References: each sample forwarded alone, batch dimension 1.
+  std::vector<std::vector<float>> expected_probs;
+  std::vector<std::int64_t> expected_labels;
+  for (const auto& sample : samples) {
+    const Tensor logits =
+        model.forward(with_batch_dim(sample), Device::cpu());
+    const Tensor probs = dlbench::tensor::softmax_rows(logits, Device::cpu());
+    expected_probs.emplace_back(probs.data().begin(), probs.data().end());
+    const auto row = logits.data();
+    expected_labels.push_back(std::distance(
+        row.begin(), std::max_element(row.begin(), row.end())));
+  }
+
+  // Serve the same samples; a long linger delay + concurrent submission
+  // forces real multi-request batches.
+  ServerOptions opts = mnist_options();
+  opts.replicas = 1;
+  opts.max_batch = 4;
+  opts.max_batch_delay_s = 0.05;
+  ModelServer server(model, opts);
+  std::vector<std::future<Prediction>> futures;
+  for (const auto& sample : samples) futures.push_back(server.submit(sample));
+
+  bool saw_multi_request_batch = false;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Prediction got = futures[i].get();
+    ASSERT_EQ(got.status, RequestStatus::kOk);
+    EXPECT_EQ(got.label, expected_labels[i]) << "sample " << i;
+    ASSERT_EQ(got.probabilities.size(), expected_probs[i].size());
+    for (std::size_t c = 0; c < expected_probs[i].size(); ++c)
+      EXPECT_EQ(got.probabilities[c], expected_probs[i][c])
+          << "sample " << i << " class " << c << " (bitwise)";
+    saw_multi_request_batch |= got.batch_size > 1;
+  }
+  EXPECT_TRUE(saw_multi_request_batch)
+      << "parity was only exercised with singleton batches";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFrameworks, BatchParityTest,
+                         ::testing::Values(FrameworkKind::kTensorFlow,
+                                           FrameworkKind::kCaffe,
+                                           FrameworkKind::kTorch),
+                         [](const auto& info) {
+                           return dlbench::frameworks::to_string(info.param);
+                         });
+
+TEST(BatchParity, ParallelDeviceMatchesSerialDevice) {
+  // The batching-throughput story runs replicas on the parallel device;
+  // parallel_for must not change summation order per sample.
+  PredictorConfig config;
+  config.dataset = DatasetId::kMnist;
+  const auto model = make_predictor(config);
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 6, 43);
+
+  ServerOptions opts = mnist_options();
+  opts.device = Device::parallel(2);
+  ModelServer server(model, opts);
+  for (const auto& sample : samples) {
+    const Prediction got = server.predict(sample);
+    ASSERT_EQ(got.status, RequestStatus::kOk);
+    const Tensor logits =
+        model.forward(with_batch_dim(sample), Device::cpu());
+    const Tensor probs = dlbench::tensor::softmax_rows(logits, Device::cpu());
+    for (std::size_t c = 0; c < got.probabilities.size(); ++c)
+      EXPECT_EQ(got.probabilities[c], probs.data()[c]);
+  }
+}
+
+// ---- request lifecycle --------------------------------------------------
+
+TEST(ModelServer, PredictReturnsOkWithProbabilities) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ModelServer server(model, mnist_options());
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 1, 44);
+  const Prediction p = server.predict(samples[0]);
+  EXPECT_EQ(p.status, RequestStatus::kOk);
+  EXPECT_GE(p.label, 0);
+  EXPECT_LT(p.label, 10);
+  ASSERT_EQ(p.probabilities.size(), 10u);
+  float sum = 0.f;
+  for (const float v : p.probabilities) sum += v;
+  EXPECT_NEAR(sum, 1.f, 1e-4f);
+  EXPECT_GE(p.batch_size, 1);
+  EXPECT_GE(p.total_s, 0.0);
+  EXPECT_GE(p.queue_wait_s, 0.0);
+}
+
+TEST(ModelServer, RejectsWrongSampleShape) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ModelServer server(model, mnist_options());
+  EXPECT_THROW(server.submit(Tensor(Shape{3, 32, 32})), dlbench::Error);
+}
+
+TEST(ModelServer, ShutdownFailsNewSubmissions) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ModelServer server(model, mnist_options());
+  server.shutdown();
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 1, 45);
+  const Prediction p = server.predict(samples[0]);
+  EXPECT_EQ(p.status, RequestStatus::kShutdown);
+}
+
+TEST(ModelServer, DrainingShutdownServesAcceptedRequests) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ServerOptions opts = mnist_options();
+  opts.replicas = 1;
+  opts.max_batch = 2;
+  ModelServer server(model, opts);
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 16, 46);
+  std::vector<std::future<Prediction>> futures;
+  for (const auto& sample : samples) futures.push_back(server.submit(sample));
+  server.shutdown(/*drain=*/true);
+  for (auto& future : futures)
+    EXPECT_EQ(future.get().status, RequestStatus::kOk);
+}
+
+TEST(ModelServer, AbortingShutdownFailsQueuedRequests) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ServerOptions opts = mnist_options();
+  opts.replicas = 1;
+  opts.max_batch = 1;
+  opts.max_batch_delay_s = 0.0;
+  ModelServer server(model, opts);
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 32, 47);
+  std::vector<std::future<Prediction>> futures;
+  for (const auto& sample : samples) futures.push_back(server.submit(sample));
+  server.shutdown(/*drain=*/false);
+  int ok = 0, aborted = 0;
+  for (auto& future : futures) {
+    const auto status = future.get().status;
+    // Requests already dequeued complete; the rest fail promptly.
+    if (status == RequestStatus::kOk) ++ok;
+    if (status == RequestStatus::kShutdown) ++aborted;
+  }
+  EXPECT_EQ(ok + aborted, 32);
+  EXPECT_GT(aborted, 0);
+}
+
+// ---- backpressure -------------------------------------------------------
+
+TEST(ModelServer, OverloadShedsAtWatermarkAndBoundsQueue) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ServerOptions opts = mnist_options();
+  opts.replicas = 1;
+  opts.max_batch = 2;
+  opts.max_batch_delay_s = 0.0;
+  opts.queue_capacity = 32;
+  opts.reject_watermark = 16;
+  ModelServer server(model, opts);
+
+  // Far more submissions than the watermark, far faster than one
+  // replica can serve them.
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 4, 48);
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < 500; ++i)
+    futures.push_back(server.submit(samples[i % samples.size()]));
+
+  std::int64_t ok = 0, rejected = 0;
+  for (auto& future : futures) {
+    switch (future.get().status) {
+      case RequestStatus::kOk: ++ok; break;
+      case RequestStatus::kRejected: ++rejected; break;
+      default: FAIL() << "unexpected shutdown status";
+    }
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_GT(rejected, 0) << "overload never tripped admission control";
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(ok + rejected, 500);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.accepted, ok);
+  // The bound the subsystem exists to provide: queue depth never
+  // exceeded the watermark no matter the offered load.
+  EXPECT_LE(stats.max_queue_depth, 16);
+}
+
+// ---- batching behaviour -------------------------------------------------
+
+TEST(ModelServer, LingerAssemblesMultiRequestBatches) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ServerOptions opts = mnist_options();
+  opts.replicas = 1;
+  opts.max_batch = 8;
+  opts.max_batch_delay_s = 0.05;
+  ModelServer server(model, opts);
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 8, 49);
+  std::vector<std::future<Prediction>> futures;
+  for (const auto& sample : samples) futures.push_back(server.submit(sample));
+  std::int64_t max_batch_seen = 0;
+  for (auto& future : futures)
+    max_batch_seen = std::max(max_batch_seen, future.get().batch_size);
+  EXPECT_GT(max_batch_seen, 1);
+  EXPECT_LE(max_batch_seen, 8);
+  const ServerStats stats = server.stats();
+  EXPECT_LT(stats.batches, 8) << "every request rode a singleton batch";
+  EXPECT_EQ(stats.completed, 8);
+}
+
+TEST(ModelServer, BatchNeverExceedsMaxBatch) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ServerOptions opts = mnist_options();
+  opts.replicas = 2;
+  opts.max_batch = 3;
+  opts.max_batch_delay_s = 0.02;
+  ModelServer server(model, opts);
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 4, 50);
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < 40; ++i)
+    futures.push_back(server.submit(samples[i % samples.size()]));
+  for (auto& future : futures) {
+    const Prediction p = future.get();
+    ASSERT_EQ(p.status, RequestStatus::kOk);
+    EXPECT_LE(p.batch_size, 3);
+    EXPECT_GE(p.batch_size, 1);
+  }
+}
+
+TEST(ModelServer, ZeroDelayStillServes) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ServerOptions opts = mnist_options();
+  opts.max_batch_delay_s = 0.0;
+  ModelServer server(model, opts);
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 4, 51);
+  for (const auto& sample : samples)
+    EXPECT_EQ(server.predict(sample).status, RequestStatus::kOk);
+}
+
+// ---- stats + latency accounting ----------------------------------------
+
+TEST(ModelServer, StatsAccountForEveryRequest) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ServerOptions opts = mnist_options();
+  opts.replicas = 2;
+  ModelServer server(model, opts);
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 4, 52);
+  constexpr int kRequests = 24;
+  std::vector<std::future<Prediction>> futures;
+  for (int i = 0; i < kRequests; ++i)
+    futures.push_back(server.submit(samples[i % samples.size()]));
+  for (auto& future : futures) future.get();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kRequests);
+  EXPECT_EQ(stats.accepted, kRequests);
+  EXPECT_EQ(stats.completed, kRequests);
+  EXPECT_EQ(stats.rejected, 0);
+  // Per-request histograms saw every request; per-batch histograms saw
+  // every batch; busy time is positive and consistent.
+  EXPECT_EQ(stats.latency.total.count(), kRequests);
+  EXPECT_EQ(stats.latency.queue_wait.count(), kRequests);
+  EXPECT_EQ(stats.latency.forward.count(), stats.batches);
+  EXPECT_EQ(stats.latency.assemble.count(), stats.batches);
+  EXPECT_EQ(stats.latency.scatter.count(), stats.batches);
+  EXPECT_GT(stats.busy_s, 0.0);
+  EXPECT_GE(stats.mean_batch_size(), 1.0);
+  // End-to-end latency dominates its own queue-wait component.
+  EXPECT_GE(stats.latency.total.max_s(), stats.latency.queue_wait.min_s());
+}
+
+TEST(ModelServer, EmitsServeSpansAndCounters) {
+  using dlbench::runtime::trace::TraceOptions;
+  using dlbench::runtime::trace::TraceScope;
+  if (!dlbench::runtime::trace::compiled()) GTEST_SKIP();
+
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  TraceOptions topts;
+  TraceScope scope(topts);
+  {
+    ModelServer server(model, mnist_options());
+    const auto samples = random_samples(
+        dlbench::frameworks::sample_shape(DatasetId::kMnist), 4, 53);
+    std::vector<std::future<Prediction>> futures;
+    for (int i = 0; i < 8; ++i)
+      futures.push_back(server.submit(samples[i % samples.size()]));
+    for (auto& future : futures) future.get();
+  }  // server joined: no instrumented work in flight
+  const auto report = scope.report();
+  for (const char* span : {"serve.enqueue_wait", "serve.assemble",
+                           "serve.forward", "serve.scatter"}) {
+    bool found = false;
+    for (const auto& s : report.spans) found |= s.name == span;
+    EXPECT_TRUE(found) << "missing span " << span;
+  }
+  bool saw_requests = false, saw_batches = false;
+  for (const auto& c : report.counters) {
+    if (c.name == "serve.requests") {
+      saw_requests = true;
+      EXPECT_EQ(c.value, 8);
+    }
+    if (c.name == "serve.batches") saw_batches = true;
+  }
+  EXPECT_TRUE(saw_requests);
+  EXPECT_TRUE(saw_batches);
+}
+
+// ---- load generator -----------------------------------------------------
+
+TEST(LoadGen, ClosedLoopDrivesAndMergesHistograms) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ModelServer server(model, mnist_options());
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 4, 54);
+  LoadGenOptions lopts;
+  lopts.mode = LoadGenOptions::Mode::kClosedLoop;
+  lopts.clients = 3;
+  lopts.duration_s = 0.1;
+  const auto result = run_load(server, samples, lopts);
+  EXPECT_GT(result.issued, 0);
+  EXPECT_EQ(result.ok, result.issued);
+  EXPECT_EQ(result.latency.count(), result.ok);
+  EXPECT_EQ(result.queue_wait.count(), result.ok);
+  EXPECT_GT(result.achieved_rps, 0.0);
+  EXPECT_GE(result.mean_batch, 1.0);
+}
+
+TEST(LoadGen, OpenLoopIssuesAtOfferedRate) {
+  PredictorConfig config;
+  const auto model = make_predictor(config);
+  ServerOptions opts = mnist_options();
+  opts.max_batch = 8;
+  ModelServer server(model, opts);
+  const auto samples = random_samples(
+      dlbench::frameworks::sample_shape(DatasetId::kMnist), 4, 55);
+  LoadGenOptions lopts;
+  lopts.mode = LoadGenOptions::Mode::kOpenLoop;
+  lopts.offered_rps = 200.0;
+  lopts.duration_s = 0.2;
+  const auto result = run_load(server, samples, lopts);
+  EXPECT_GT(result.issued, 10);
+  EXPECT_EQ(result.ok + result.rejected + result.shutdown, result.issued);
+  // The dispatcher resolves every future before returning.
+  EXPECT_EQ(result.latency.count(), result.ok);
+}
+
+}  // namespace
