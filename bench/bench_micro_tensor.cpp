@@ -1,7 +1,14 @@
 // Microbenchmarks for the tensor kernels that dominate every
 // experiment: GEMM, im2col convolution, direct convolution, pooling,
 // softmax. Uses google-benchmark. Shapes are taken from the paper's
-// actual layers (Tables IV and V).
+// actual layers (Tables IV and V), plus square GEMM sizes for the
+// packed-vs-legacy kernel comparison (DESIGN.md §11, EXPERIMENTS.md).
+//
+// Every bench reports arithmetic throughput (counter "GFLOPs", in
+// GFLOP/s) and memory throughput (counter "GBps", in GB/s, counting
+// each operand tensor once per pass) so regressions show up in units
+// that are comparable across shapes; scripts/perf_smoke.sh keys off
+// the GFLOPs counter of the GEMM/conv benches.
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +30,21 @@ Device device_for(bool parallel) {
   return parallel ? Device::gpu() : Device::cpu();
 }
 
+// Attach per-second rate counters: `flops` and `bytes` are per
+// iteration; google-benchmark scales by iterations/elapsed itself.
+void set_rates(benchmark::State& state, double flops, double bytes) {
+  using benchmark::Counter;
+  state.counters["GFLOPs"] =
+      Counter(flops * 1e-9, Counter::kIsIterationInvariantRate);
+  state.counters["GBps"] =
+      Counter(bytes * 1e-9, Counter::kIsIterationInvariantRate);
+}
+
+double gemm_flops(double m, double k, double n) { return 2.0 * m * k * n; }
+double gemm_bytes(double m, double k, double n) {
+  return 4.0 * (m * k + k * n + m * n);
+}
+
 // GEMM at the TF-MNIST fc1 shape: [batch, 3136] x [3136, 1024].
 void BM_MatmulFc1(benchmark::State& state) {
   const auto batch = state.range(0);
@@ -35,8 +57,45 @@ void BM_MatmulFc1(benchmark::State& state) {
     benchmark::DoNotOptimize(c.raw());
   }
   state.SetItemsProcessed(state.iterations() * batch * 3136 * 1024 * 2);
+  set_rates(state, gemm_flops(static_cast<double>(batch), 3136, 1024),
+            gemm_bytes(static_cast<double>(batch), 3136, 1024));
 }
-BENCHMARK(BM_MatmulFc1)->Args({16, 0})->Args({16, 1})->Args({64, 1});
+BENCHMARK(BM_MatmulFc1)->Args({16, 0})->Args({16, 1})->Args({64, 1})->UseRealTime();
+
+// Square GEMM through the packed SIMD kernel (the production matmul
+// path) — compare directly against BM_GemmRows at the same size.
+void BM_GemmPacked(benchmark::State& state) {
+  const auto s = state.range(0);
+  const Device dev = device_for(true);
+  util::Rng rng(7);
+  Tensor a = Tensor::randn(Shape({s, s}), rng);
+  Tensor b = Tensor::randn(Shape({s, s}), rng);
+  for (auto _ : state) {
+    Tensor c = tensor::matmul(a, b, dev);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  const double d = static_cast<double>(s);
+  set_rates(state, gemm_flops(d, d, d), gemm_bytes(d, d, d));
+}
+BENCHMARK(BM_GemmPacked)->Arg(256)->Arg(384)->Arg(512)->UseRealTime();
+
+// The same sizes through the retained legacy row-blocked kernel — the
+// pre-packing baseline the ">= 2x" kernel acceptance is measured
+// against (scripts/perf_smoke.sh checks the ratio).
+void BM_GemmRows(benchmark::State& state) {
+  const auto s = state.range(0);
+  const Device dev = device_for(true);
+  util::Rng rng(7);
+  Tensor a = Tensor::randn(Shape({s, s}), rng);
+  Tensor b = Tensor::randn(Shape({s, s}), rng);
+  for (auto _ : state) {
+    Tensor c = tensor::matmul_rows_reference(a, b, dev);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  const double d = static_cast<double>(s);
+  set_rates(state, gemm_flops(d, d, d), gemm_bytes(d, d, d));
+}
+BENCHMARK(BM_GemmRows)->Arg(256)->Arg(384)->Arg(512)->UseRealTime();
 
 // Conv at the Caffe-MNIST conv1 shape: 1->20, 5x5, 28x28 input.
 void BM_ConvGemmLenet1(benchmark::State& state) {
@@ -51,8 +110,14 @@ void BM_ConvGemmLenet1(benchmark::State& state) {
     Tensor y = tensor::conv2d_forward(x, w, b, g, dev);
     benchmark::DoNotOptimize(y.raw());
   }
+  const double positions =
+      static_cast<double>(batch) * g.out_h() * g.out_w();
+  set_rates(state,
+            2.0 * positions * g.out_c * static_cast<double>(g.patch_size()),
+            4.0 * (static_cast<double>(x.numel()) + w.numel() + b.numel() +
+                   positions * g.out_c));
 }
-BENCHMARK(BM_ConvGemmLenet1)->Args({16, 0})->Args({16, 1})->Args({64, 1});
+BENCHMARK(BM_ConvGemmLenet1)->Args({16, 0})->Args({16, 1})->Args({64, 1})->UseRealTime();
 
 // GEMM vs direct convolution — the Torch CPU/GPU implementation split.
 void BM_ConvDirectVsGemm(benchmark::State& state) {
@@ -61,7 +126,8 @@ void BM_ConvDirectVsGemm(benchmark::State& state) {
   util::Rng rng(3);
   nn::Context ctx;
   ctx.device = Device::cpu();
-  Tensor x = Tensor::randn(Shape({8, 32, 11, 11}), rng);
+  const std::int64_t batch = 8;
+  Tensor x = Tensor::randn(Shape({batch, 32, 11, 11}), rng);
   if (direct) {
     nn::Conv2dDirect conv(g, tensor::InitKind::kLecunUniform, rng);
     for (auto _ : state) {
@@ -75,8 +141,15 @@ void BM_ConvDirectVsGemm(benchmark::State& state) {
       benchmark::DoNotOptimize(y.raw());
     }
   }
+  const double positions =
+      static_cast<double>(batch) * g.out_h() * g.out_w();
+  set_rates(state,
+            2.0 * positions * g.out_c * static_cast<double>(g.patch_size()),
+            4.0 * (static_cast<double>(x.numel()) +
+                   g.out_c * static_cast<double>(g.patch_size()) +
+                   positions * g.out_c));
 }
-BENCHMARK(BM_ConvDirectVsGemm)->Arg(0)->Arg(1);
+BENCHMARK(BM_ConvDirectVsGemm)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_MaxPool(benchmark::State& state) {
   const Device dev = device_for(state.range(0));
@@ -84,12 +157,16 @@ void BM_MaxPool(benchmark::State& state) {
   util::Rng rng(4);
   Tensor x = Tensor::randn(Shape({32, 64, 32, 32}), rng);
   std::vector<std::int32_t> argmax;
+  Tensor probe = tensor::maxpool_forward(x, g, argmax, dev);
   for (auto _ : state) {
     Tensor y = tensor::maxpool_forward(x, g, argmax, dev);
     benchmark::DoNotOptimize(y.raw());
   }
+  // One compare per window element counts as one "flop".
+  set_rates(state, static_cast<double>(probe.numel()) * g.window * g.window,
+            4.0 * (static_cast<double>(x.numel()) + probe.numel()));
 }
-BENCHMARK(BM_MaxPool)->Arg(0)->Arg(1);
+BENCHMARK(BM_MaxPool)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_SoftmaxXent(benchmark::State& state) {
   const Device dev = device_for(state.range(0));
@@ -102,8 +179,11 @@ void BM_SoftmaxXent(benchmark::State& state) {
     const double loss = tensor::cross_entropy_mean(p, labels);
     benchmark::DoNotOptimize(loss);
   }
+  // max + sub + exp + sum + div per element, plus the log per row.
+  set_rates(state, 5.0 * static_cast<double>(logits.numel()) + 256.0,
+            4.0 * 2.0 * static_cast<double>(logits.numel()));
 }
-BENCHMARK(BM_SoftmaxXent)->Arg(0)->Arg(1);
+BENCHMARK(BM_SoftmaxXent)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_Lrn(benchmark::State& state) {
   util::Rng rng(6);
@@ -111,12 +191,16 @@ void BM_Lrn(benchmark::State& state) {
   ctx.device = device_for(state.range(0));
   nn::LocalResponseNorm lrn;
   Tensor x = Tensor::randn(Shape({32, 64, 15, 15}), rng);
+  Tensor probe = lrn.forward(x, ctx);
   for (auto _ : state) {
     Tensor y = lrn.forward(x, ctx);
     benchmark::DoNotOptimize(y.raw());
   }
+  // Square + windowed sum + scale + pow per element (window = 5).
+  set_rates(state, static_cast<double>(x.numel()) * (5.0 + 3.0),
+            4.0 * (static_cast<double>(x.numel()) + probe.numel()));
 }
-BENCHMARK(BM_Lrn)->Arg(0)->Arg(1);
+BENCHMARK(BM_Lrn)->Arg(0)->Arg(1)->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Quick performance smoke test for the packed SIMD GEMM / conv kernels
+# (DESIGN.md §11): runs the GEMM and im2col-conv microbenchmarks for a
+# couple of seconds and fails if any throughput falls more than 30%
+# below the checked-in floor (scripts/perf_floor.txt, GFLOP/s recorded
+# on the reference CI box in a deliberately slow phase — the gate
+# catches real regressions such as a de-vectorized kernel or a spilled
+# accumulator, not scheduler noise). Also prints the packed-vs-rows
+# speedup per size, which the kernel acceptance in EXPERIMENTS.md
+# tracks.
+#
+# On a different machine, scale the floors instead of editing the file:
+#   DLB_PERF_FLOOR_SCALE=0.5 scripts/perf_smoke.sh
+#
+# Usage: scripts/perf_smoke.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+BENCH="$BUILD_DIR/bench/bench_micro_tensor"
+if [ ! -x "$BENCH" ]; then
+  echo "perf_smoke: $BENCH not built (cmake --build $BUILD_DIR)" >&2
+  exit 2
+fi
+
+JSON="$(mktemp)"
+trap 'rm -f "$JSON"' EXIT
+"$BENCH" --benchmark_filter='Gemm(Packed|Rows)|ConvGemmLenet1' \
+         --benchmark_min_time=0.15 \
+         --benchmark_format=json >"$JSON"
+
+python3 - "$JSON" scripts/perf_floor.txt <<'PY'
+import json
+import os
+import sys
+
+json_path, floor_path = sys.argv[1], sys.argv[2]
+scale = float(os.environ.get("DLB_PERF_FLOOR_SCALE", "1.0"))
+ALLOWED_REGRESSION = 0.30  # fail below 70% of the floor
+
+floors = {}
+with open(floor_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.split()
+        floors[name] = float(value)
+
+measured = {}
+for bench in json.load(open(json_path))["benchmarks"]:
+    if bench.get("run_type") == "aggregate":
+        continue
+    measured[bench["name"]] = bench["GFLOPs"]
+
+failures = []
+for name, floor in sorted(floors.items()):
+    if name not in measured:
+        failures.append(f"{name}: not measured (filter/registration changed?)")
+        continue
+    got = measured[name]
+    gate = floor * scale * (1.0 - ALLOWED_REGRESSION)
+    status = "ok" if got >= gate else "REGRESSION"
+    print(f"{name:40s} {got:8.2f} GFLOP/s  (floor {floor:7.2f}, "
+          f"gate {gate:7.2f})  {status}")
+    if got < gate:
+        failures.append(f"{name}: {got:.2f} GFLOP/s < gate {gate:.2f}")
+
+for size in (256, 384, 512):
+    packed = measured.get(f"BM_GemmPacked/{size}/real_time")
+    rows = measured.get(f"BM_GemmRows/{size}/real_time")
+    if packed and rows:
+        print(f"packed-vs-rows speedup @ {size}^3: {packed / rows:.2f}x")
+
+if failures:
+    print("\nperf_smoke FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print("\nperf_smoke OK")
+PY

@@ -2,7 +2,9 @@
 # Builds the repo with AddressSanitizer + UBSan and runs the suites most
 # likely to surface memory/lifetime bugs: the fault-injection tests
 # (label `fault`), the numerical gradient/kernel differential tests
-# (label `gradcheck`), which hammer the threaded kernels, and the
+# (label `gradcheck`), which hammer the threaded kernels, the SIMD
+# packed-GEMM / conv micro-kernel suites (label `kernels` — packing
+# scratch buffers, edge-tile padding, wide-tile stores), and the
 # inference-serving tests (label `serve`), whose batcher moves tensors
 # across threads. For data races specifically, see tsan_check.sh.
 #
@@ -19,4 +21,4 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDLBENCH_SANITIZE="$SANITIZERS"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck|serve' --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck|serve|kernels' --output-on-failure -j "$(nproc)"

@@ -3,8 +3,10 @@
 # real cross-thread interleavings: the inference-serving tests (label
 # `serve` — MPMC queue, dynamic batcher, replica threads, histogram
 # merges), the tracing tests (label `trace` — thread-local event buffers
-# under an atomic scope pointer), and the fault-injection tests (label
-# `fault`). ASan/UBSan (sanitize_check.sh) cannot see data races; this
+# under an atomic scope pointer), the fault-injection tests (label
+# `fault`), and the kernel suites (label `kernels` — the packed GEMM
+# macro loop splits row panels across pool workers and its determinism
+# tests run the same shapes under several thread counts). ASan/UBSan (sanitize_check.sh) cannot see data races; this
 # is the suite that would have caught a misordered stats commit or an
 # unlocked histogram.
 #
@@ -21,5 +23,5 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDLBENCH_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'serve|trace|fault' --output-on-failure \
+ctest --test-dir "$BUILD_DIR" -L 'serve|trace|fault|kernels' --output-on-failure \
   -j "$(nproc)"

@@ -32,6 +32,10 @@ FrozenModel FrozenModel::freeze(const Sequential& model) {
       op.kind = Op::Kind::kLinear;
       op.weight = fc->weight().clone();
       op.bias = fc->bias().clone();
+    } else if (const auto* fcr = dynamic_cast<const LinearReLU*>(&layer)) {
+      op.kind = Op::Kind::kLinearRelu;
+      op.weight = fcr->weight().clone();
+      op.bias = fcr->bias().clone();
     } else if (const auto* mp = dynamic_cast<const MaxPool2d*>(&layer)) {
       op.kind = Op::Kind::kMaxPool;
       op.pool = mp->geom();
@@ -57,6 +61,15 @@ FrozenModel FrozenModel::freeze(const Sequential& model) {
       DLB_CHECK(false, "no inference lowering for layer '"
                            << layer.describe() << "'");
     }
+    // Peephole: ReLU directly after a Linear runs in the GEMM epilogue.
+    // Dropout was already elided above, so fc -> dropout -> relu chains
+    // fuse too. relu(A*B + bias) via the epilogue is bitwise-identical
+    // to the two-op sequence (DESIGN.md §11).
+    if (op.kind == Op::Kind::kRelu && !frozen.ops_.empty() &&
+        frozen.ops_.back().kind == Op::Kind::kLinear) {
+      frozen.ops_.back().kind = Op::Kind::kLinearRelu;
+      continue;
+    }
     frozen.ops_.push_back(std::move(op));
   }
   return frozen;
@@ -74,12 +87,12 @@ Tensor FrozenModel::forward(const Tensor& x,
       case Op::Kind::kConvDirect:
         h = conv2d_direct_forward(h, op.weight, op.bias, op.conv, device);
         break;
-      case Op::Kind::kLinear: {
-        Tensor y = tensor::matmul(h, op.weight, device);
-        tensor::add_row_bias(y, op.bias, device);
-        h = y;
+      case Op::Kind::kLinear:
+        h = tensor::matmul_bias(h, op.weight, op.bias, device);
         break;
-      }
+      case Op::Kind::kLinearRelu:
+        h = tensor::matmul_bias_relu(h, op.weight, op.bias, device);
+        break;
       case Op::Kind::kMaxPool: {
         std::vector<std::int32_t> argmax;  // call-local scratch
         h = tensor::maxpool_forward(h, op.pool, argmax, device);
@@ -135,6 +148,9 @@ std::string FrozenModel::describe() const {
         break;
       case Op::Kind::kLinear:
         os << "fc " << op.weight.dim(0) << "->" << op.weight.dim(1);
+        break;
+      case Op::Kind::kLinearRelu:
+        os << "fc+relu " << op.weight.dim(0) << "->" << op.weight.dim(1);
         break;
       case Op::Kind::kMaxPool:
         os << "maxpool" << op.pool.window << "x" << op.pool.window;

@@ -35,7 +35,10 @@ class FrozenModel {
 
   /// Deep-copies every parameter of `model` into an immutable op list.
   /// Throws on layer kinds with no inference lowering (none exist in
-  /// this codebase today).
+  /// this codebase today). A peephole pass fuses each Linear op whose
+  /// successor is a ReLU into one kLinearRelu op executed by the GEMM
+  /// epilogue (tensor::matmul_bias_relu) — bitwise-identical output,
+  /// one fewer pass over the activations per fc layer.
   static FrozenModel freeze(const Sequential& model);
 
   /// Logits for a batch. Pure: no member is written, all scratch is
@@ -57,6 +60,7 @@ class FrozenModel {
       kConv,
       kConvDirect,
       kLinear,
+      kLinearRelu,  // fused fc+activation; see freeze() peephole
       kMaxPool,
       kAvgPool,
       kRelu,

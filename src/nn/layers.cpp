@@ -72,9 +72,7 @@ Tensor Linear::forward(const Tensor& x, const Context& ctx) {
             "Linear expects [N, " << in_ << "], got "
                                   << x.shape().to_string());
   cached_input_ = x;
-  Tensor y = tensor::matmul(x, weight_, ctx.device);
-  tensor::add_row_bias(y, bias_, ctx.device);
-  return y;
+  return tensor::matmul_bias(x, weight_, bias_, ctx.device);
 }
 
 Tensor Linear::backward(const Tensor& dy, const Context& ctx) {
@@ -86,6 +84,47 @@ Tensor Linear::backward(const Tensor& dy, const Context& ctx) {
   tensor::add_inplace(dbias_, db, ctx.device);
   // dx[N, in] = dy [N, out] * W^T [out, in]
   return tensor::matmul_nt(dy, weight_, ctx.device);
+}
+
+// ---- LinearReLU ----
+
+LinearReLU::LinearReLU(std::int64_t in_features, std::int64_t out_features,
+                       tensor::InitKind init, util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Shape({in_features, out_features})),
+      bias_(Shape({out_features})),
+      dweight_(Shape({in_features, out_features})),
+      dbias_(Shape({out_features})) {
+  DLB_CHECK(in_features > 0 && out_features > 0,
+            "LinearReLU dims must be positive");
+  tensor::initialize(weight_, init, in_features, out_features, rng);
+}
+
+std::string LinearReLU::describe() const {
+  std::ostringstream os;
+  os << "fc+relu " << in_ << "->" << out_;
+  return os.str();
+}
+
+Tensor LinearReLU::forward(const Tensor& x, const Context& ctx) {
+  DLB_CHECK(x.shape().rank() == 2 && x.dim(1) == in_,
+            "LinearReLU expects [N, " << in_ << "], got "
+                                      << x.shape().to_string());
+  cached_input_ = x;
+  cached_output_ = tensor::matmul_bias_relu(x, weight_, bias_, ctx.device);
+  return cached_output_;
+}
+
+Tensor LinearReLU::backward(const Tensor& dy, const Context& ctx) {
+  DLB_CHECK(!cached_input_.empty(), "LinearReLU::backward before forward");
+  // The cached output is a valid ReLU mask: y > 0 iff pre-activation > 0.
+  Tensor dz = tensor::relu_backward(cached_output_, dy, ctx.device);
+  Tensor dw = tensor::matmul_tn(cached_input_, dz, ctx.device);
+  tensor::add_inplace(dweight_, dw, ctx.device);
+  Tensor db = tensor::column_sums(dz, ctx.device);
+  tensor::add_inplace(dbias_, db, ctx.device);
+  return tensor::matmul_nt(dz, weight_, ctx.device);
 }
 
 // ---- pooling ----

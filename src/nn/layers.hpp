@@ -61,6 +61,35 @@ class Linear final : public Layer {
   Tensor cached_input_;
 };
 
+/// Fully connected layer with the ReLU fused into the GEMM epilogue:
+/// forward is a single tensor::matmul_bias_relu call, so the activation
+/// is applied while each output tile is still in registers instead of
+/// in a second pass over the output. Bitwise-identical to Linear
+/// followed by ReLU (see DESIGN.md §11); gradients match too because
+/// relu(z) > 0 exactly when z > 0, so the cached output doubles as the
+/// backward mask.
+class LinearReLU final : public Layer {
+ public:
+  LinearReLU(std::int64_t in_features, std::int64_t out_features,
+             tensor::InitKind init, util::Rng& rng);
+
+  std::string describe() const override;
+  Tensor forward(const Tensor& x, const Context& ctx) override;
+  Tensor backward(const Tensor& dy, const Context& ctx) override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&dweight_, &dbias_}; }
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  std::int64_t in_, out_;
+  Tensor weight_, bias_, dweight_, dbias_;
+  Tensor cached_input_, cached_output_;
+};
+
 /// Max pooling; records argmax indices for backward.
 class MaxPool2d final : public Layer {
  public:

@@ -1,22 +1,87 @@
 #include "runtime/device.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <thread>
 
 namespace dlbench::runtime {
 
 namespace {
 
+std::size_t global_pool_size() {
+  // DLB_THREADS caps the shared pool (benchmarking thread scaling
+  // without recompiling); default is all hardware cores.
+  if (const char* env = std::getenv("DLB_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  return std::max(2u, std::thread::hardware_concurrency());
+}
+
 std::shared_ptr<ThreadPool> shared_global_pool() {
   // One process-wide pool for all GPU devices: spawning a pool per
   // Device would oversubscribe cores when experiments create devices
   // in loops.
-  static std::shared_ptr<ThreadPool> pool = std::make_shared<ThreadPool>(
-      std::max(2u, std::thread::hardware_concurrency()));
+  static std::shared_ptr<ThreadPool> pool =
+      std::make_shared<ThreadPool>(global_pool_size());
   return pool;
 }
 
 }  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.fma = __builtin_cpu_supports("fma");
+    f.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+    return f;
+  }();
+  return features;
+}
+
+SimdLevel active_simd_level() {
+  static const SimdLevel level = [] {
+#if defined(DLB_HAVE_AVX2_BUILD)
+    const bool avx2_built = true;
+#else
+    const bool avx2_built = false;
+#endif
+#if defined(DLB_HAVE_AVX512_BUILD)
+    const bool avx512_built = true;
+#else
+    const bool avx512_built = false;
+#endif
+    const CpuFeatures& f = cpu_features();
+    SimdLevel best = SimdLevel::kScalar;
+    if (avx2_built && f.avx2 && f.fma) best = SimdLevel::kAvx2Fma;
+    if (best == SimdLevel::kAvx2Fma && avx512_built && f.avx512f)
+      best = SimdLevel::kAvx512F;
+    if (const char* env = std::getenv("DLB_SIMD")) {
+      const std::string v(env);
+      if (v == "scalar") return SimdLevel::kScalar;
+      // A request is a cap, not a guarantee: it cannot raise the level
+      // above what the build and the CPU support.
+      if (v == "avx2") return std::min(best, SimdLevel::kAvx2Fma);
+      if (v == "avx512" || v == "auto" || v.empty()) return best;
+      return SimdLevel::kScalar;  // unknown value: fail safe, stay portable
+    }
+    return best;
+  }();
+  return level;
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512F: return "avx512f";
+    case SimdLevel::kAvx2Fma: return "avx2+fma";
+    case SimdLevel::kScalar: break;
+  }
+  return "scalar";
+}
 
 Device Device::cpu() { return Device(Kind::kCpu, nullptr); }
 

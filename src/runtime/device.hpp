@@ -22,6 +22,33 @@
 
 namespace dlbench::runtime {
 
+/// Instruction-set capabilities of the host CPU, probed once at startup.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+};
+
+/// Host CPU features (cached; safe to call from any thread).
+const CpuFeatures& cpu_features();
+
+/// Which kernel implementation tier the tensor library dispatches to.
+/// Each SIMD tier requires both compiler support (its translation unit
+/// was built) and runtime support (cpuid reports the features); kScalar
+/// is the portable fallback and is always available. Ordered: a higher
+/// enumerator strictly implies the lower tiers' features.
+enum class SimdLevel { kScalar, kAvx2Fma, kAvx512F };
+
+/// The dispatch decision: the highest level both built and supported,
+/// overridable with DLB_SIMD=scalar|avx2|avx512|auto (default auto; a
+/// request cannot raise the level above what build+CPU support, and
+/// "avx2" caps an AVX-512 host at the AVX2 tier). Resolved once on
+/// first call and cached.
+SimdLevel active_simd_level();
+
+/// "scalar", "avx2+fma" or "avx512f" — for logs, benches and reports.
+const char* simd_level_name(SimdLevel level);
+
 /// Where/how tensor kernels execute. Value-semantic handle; cheap to copy.
 class Device {
  public:

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "runtime/trace.hpp"
+#include "tensor/gemm_kernel.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::tensor {
@@ -146,8 +147,16 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
     }
   };
 
+  // Packed tier: the unfolded sample is a [out_c, patch] x [patch, ohw]
+  // GEMM with the per-channel bias applied in the kBiasRowInit epilogue
+  // (accumulators start at bias[oc] — the same operation chain as the
+  // legacy fill-then-accumulate kernel, so results are bitwise equal).
+  const bool packed = gemm_packed_active();
+  const Device serial = Device::cpu();
+
   if (n >= 4 || !dev.is_parallel()) {
-    // Batch-level parallelism.
+    // Batch-level parallelism; each sample's GEMM runs serially inside
+    // its chunk (the pool must not be re-entered from a worker).
     dev.parallel_for(
         static_cast<std::size_t>(n),
         [&](std::size_t lo, std::size_t hi) {
@@ -155,9 +164,14 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
           for (std::size_t i = lo; i < hi; ++i) {
             im2col(px + static_cast<std::int64_t>(i) * in_sz, g,
                    columns.data());
-            gemm_sample(columns.data(), py + static_cast<std::int64_t>(i) *
-                                                 out_sz,
-                        0, g.out_c);
+            float* out = py + static_cast<std::int64_t>(i) * out_sz;
+            if (packed) {
+              gemm_packed(pw, patch, 1, columns.data(), ohw, 1, out,
+                          g.out_c, patch, ohw, GemmEpilogue::kBiasRowInit,
+                          pb, serial);
+            } else {
+              gemm_sample(columns.data(), out, 0, g.out_c);
+            }
           }
         },
         1);
@@ -166,11 +180,17 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
 
   // Tiny batches on the parallel device: unfold serially, split the
   // GEMM across output channels (how GPU conv kernels keep SMs busy at
-  // batch size 1, e.g. Torch's CIFAR-10 default).
+  // batch size 1, e.g. Torch's CIFAR-10 default). The packed kernel
+  // threads over output-channel macro-tiles instead of raw rows.
   std::vector<float> columns(static_cast<std::size_t>(patch * ohw));
   for (std::int64_t i = 0; i < n; ++i) {
     im2col(px + i * in_sz, g, columns.data());
     float* out = py + i * out_sz;
+    if (packed) {
+      gemm_packed(pw, patch, 1, columns.data(), ohw, 1, out, g.out_c, patch,
+                  ohw, GemmEpilogue::kBiasRowInit, pb, dev);
+      continue;
+    }
     dev.parallel_for(
         static_cast<std::size_t>(g.out_c),
         [&](std::size_t lo, std::size_t hi) {

@@ -1,0 +1,265 @@
+#include "tensor/gemm_kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "runtime/trace.hpp"
+#include "tensor/pack.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::tensor {
+
+using runtime::Device;
+
+namespace detail {
+
+void micro_kernel_scalar(const float* a_panel, const float* b_panel,
+                         std::int64_t k, float* out, std::int64_t ldo,
+                         GemmEpilogue epilogue, const float* bias_row,
+                         const float* bias_col) {
+  float acc[kGemmMR][kGemmNR];
+  if (epilogue == GemmEpilogue::kBiasRowInit ||
+      epilogue == GemmEpilogue::kBiasRowRelu) {
+    for (std::int64_t r = 0; r < kGemmMR; ++r)
+      for (std::int64_t j = 0; j < kGemmNR; ++j) acc[r][j] = bias_row[r];
+  } else {
+    std::memset(acc, 0, sizeof(acc));
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* a = a_panel + kk * kGemmMR;
+    const float* b = b_panel + kk * kGemmNR;
+    for (std::int64_t r = 0; r < kGemmMR; ++r) {
+      const float av = a[r];
+      for (std::int64_t j = 0; j < kGemmNR; ++j) acc[r][j] += av * b[j];
+    }
+  }
+  if (epilogue == GemmEpilogue::kBiasColAdd ||
+      epilogue == GemmEpilogue::kBiasColRelu) {
+    for (std::int64_t r = 0; r < kGemmMR; ++r)
+      for (std::int64_t j = 0; j < kGemmNR; ++j) acc[r][j] += bias_col[j];
+  }
+  if (epilogue == GemmEpilogue::kBiasColRelu ||
+      epilogue == GemmEpilogue::kBiasRowRelu) {
+    for (std::int64_t r = 0; r < kGemmMR; ++r)
+      for (std::int64_t j = 0; j < kGemmNR; ++j)
+        acc[r][j] = acc[r][j] > 0.f ? acc[r][j] : 0.f;
+  }
+  for (std::int64_t r = 0; r < kGemmMR; ++r)
+    std::memcpy(out + r * ldo, acc[r],
+                static_cast<std::size_t>(kGemmNR) * sizeof(float));
+}
+
+namespace {
+
+// The single-panel kernel for the active tier, plus (when the tier has
+// one) a double-panel kernel the driver prefers for full interior
+// tiles. x2 is a pure throughput optimization — bitwise identical to
+// two single-panel calls — so only the hot kFma path carries one.
+struct SelectedKernels {
+  MicroKernelFn single;
+  MicroKernelFn x2;    // MR x 2*NR; nullptr when the tier has none
+  MicroKernelFn quad;  // 2*MR x 2*NR; nullptr when the tier has none
+};
+
+SelectedKernels select_micro_kernel(GemmMath math) {
+  const runtime::SimdLevel level = runtime::active_simd_level();
+#if defined(DLB_HAVE_AVX512_BUILD)
+  if (level == runtime::SimdLevel::kAvx512F) {
+    return math == GemmMath::kFma
+               ? SelectedKernels{micro_kernel_avx512, micro_kernel_avx512_x2,
+                                 micro_kernel_avx512_2x2}
+               : SelectedKernels{micro_kernel_avx512_muladd, nullptr, nullptr};
+  }
+#endif
+#if defined(DLB_HAVE_AVX2_BUILD)
+  if (level == runtime::SimdLevel::kAvx2Fma) {
+    return math == GemmMath::kFma
+               ? SelectedKernels{micro_kernel_avx2fma, nullptr, nullptr}
+               : SelectedKernels{micro_kernel_avx2_muladd, nullptr, nullptr};
+  }
+#endif
+  (void)level;
+  return math == GemmMath::kFma
+             ? SelectedKernels{micro_kernel_scalar, nullptr, nullptr}
+             : SelectedKernels{micro_kernel_scalar_muladd, nullptr, nullptr};
+}
+
+}  // namespace
+}  // namespace detail
+
+bool gemm_packed_active() {
+  return runtime::active_simd_level() != runtime::SimdLevel::kScalar;
+}
+
+namespace {
+
+// Column macro-block width, in NR panels: a packed-B block of
+// kMacroColPanels panels is revisited by every row panel of a thread's
+// chunk before the next block streams in, bounding the B working set
+// (K * 512 floats) to L2/L3 instead of the whole matrix.
+constexpr std::int64_t kMacroColPanels = 32;
+
+}  // namespace
+
+void gemm_packed(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+                 const float* b, std::int64_t b_rs, std::int64_t b_cs,
+                 float* c, std::int64_t m, std::int64_t k, std::int64_t n,
+                 GemmEpilogue epilogue, const float* bias,
+                 const Device& dev, GemmMath math) {
+  DLB_CHECK(m > 0 && k > 0 && n > 0, "gemm_packed: empty dimensions");
+  // No trace span here: every caller (matmul*, conv2d_forward) already
+  // opens a kernel-category span, and a nested one would double-count
+  // the category total (see TraceTest.KernelSpansRecordedFromMatmul).
+
+  const std::int64_t n_mp = gemm_row_panels(m);
+  const std::int64_t n_np = gemm_col_panels(n);
+
+  // Grow-only scratch per calling thread: the training loop calls this
+  // thousands of times from one thread, and serve replicas each get
+  // their own buffers.
+  thread_local std::vector<float> pa, pb;
+  const std::size_t a_need = static_cast<std::size_t>(n_mp * kGemmMR * k);
+  const std::size_t b_need = static_cast<std::size_t>(n_np * kGemmNR * k);
+  if (pa.size() < a_need) pa.resize(a_need);
+  if (pb.size() < b_need) pb.resize(b_need);
+  pack_a_panels(a, a_rs, a_cs, m, k, pa.data(), dev);
+  pack_b_panels(b, b_rs, b_cs, k, n, pb.data(), dev);
+
+  const detail::SelectedKernels kernels = detail::select_micro_kernel(math);
+  const detail::MicroKernelFn micro = kernels.single;
+  const detail::MicroKernelFn micro_x2 = kernels.x2;
+  const detail::MicroKernelFn micro_2x2 = kernels.quad;
+  const float* pa_data = pa.data();
+  const float* pb_data = pb.data();
+
+  const bool row_bias = epilogue == GemmEpilogue::kBiasRowInit ||
+                        epilogue == GemmEpilogue::kBiasRowRelu;
+  const bool col_bias = epilogue == GemmEpilogue::kBiasColAdd ||
+                        epilogue == GemmEpilogue::kBiasColRelu;
+
+  // Macro-tile loop: threads split the row panels; every C tile is
+  // computed whole by one thread (see determinism contract in the
+  // header).
+  dev.parallel_for(
+      static_cast<std::size_t>(n_mp),
+      [&](std::size_t lo, std::size_t hi) {
+        float tmp[kGemmMR * kGemmNR];
+        float bias_row_pad[kGemmMR];
+        float bias_col_pad[kGemmNR];
+        for (std::int64_t np0 = 0; np0 < n_np; np0 += kMacroColPanels) {
+          const std::int64_t np1 = std::min(n_np, np0 + kMacroColPanels);
+          for (std::size_t mp = lo; mp < hi;) {
+            const std::int64_t m0 = static_cast<std::int64_t>(mp) * kGemmMR;
+            const std::int64_t mr = std::min(kGemmMR, m - m0);
+            const float* a_panel =
+                pa_data + static_cast<std::int64_t>(mp) * k * kGemmMR;
+            // Full interior pair of row panels: the quad kernel (when
+            // the tier has one) covers both against each streamed-in B
+            // panel pair, halving packed-B re-reads. Like column
+            // pairing, this only regroups whole tiles — per-element
+            // accumulation chains are untouched — so it is bitwise
+            // neutral, even though chunk boundaries make the pairing
+            // itself depend on the thread count.
+            if (micro_2x2 != nullptr && mp + 2 <= hi &&
+                m0 + 2 * kGemmMR <= m) {
+              const float* brow2 = row_bias ? bias + m0 : nullptr;
+              std::int64_t np = np0;
+              for (; np + 2 <= np1 && (np + 2) * kGemmNR <= n; np += 2) {
+                micro_2x2(a_panel, pb_data + np * k * kGemmNR, k,
+                          c + m0 * n + np * kGemmNR, n, epilogue, brow2,
+                          col_bias ? bias + np * kGemmNR : nullptr);
+              }
+              // Leftover column panel (or edge): two single-panel
+              // calls, one per row panel.
+              for (; np < np1; ++np) {
+                const std::int64_t n0 = np * kGemmNR;
+                const std::int64_t nr = std::min(kGemmNR, n - n0);
+                const float* b_panel = pb_data + np * k * kGemmNR;
+                const float* bcol = nullptr;
+                if (col_bias) {
+                  if (nr == kGemmNR) {
+                    bcol = bias + n0;
+                  } else {
+                    for (std::int64_t j = 0; j < kGemmNR; ++j)
+                      bias_col_pad[j] = j < nr ? bias[n0 + j] : 0.f;
+                    bcol = bias_col_pad;
+                  }
+                }
+                for (int half = 0; half < 2; ++half) {
+                  const float* ap = a_panel + half * k * kGemmMR;
+                  const std::int64_t hm0 = m0 + half * kGemmMR;
+                  const float* hb = row_bias ? bias + hm0 : nullptr;
+                  if (nr == kGemmNR) {
+                    micro(ap, b_panel, k, c + hm0 * n + n0, n, epilogue, hb,
+                          bcol);
+                  } else {
+                    micro(ap, b_panel, k, tmp, kGemmNR, epilogue, hb, bcol);
+                    for (std::int64_t r = 0; r < kGemmMR; ++r)
+                      std::memcpy(c + (hm0 + r) * n + n0, tmp + r * kGemmNR,
+                                  static_cast<std::size_t>(nr) *
+                                      sizeof(float));
+                  }
+                }
+              }
+              mp += 2;
+              continue;
+            }
+            const float* brow = nullptr;
+            if (row_bias) {
+              if (mr == kGemmMR) {
+                brow = bias + m0;
+              } else {
+                for (std::int64_t r = 0; r < kGemmMR; ++r)
+                  bias_row_pad[r] = r < mr ? bias[m0 + r] : 0.f;
+                brow = bias_row_pad;
+              }
+            }
+            for (std::int64_t np = np0; np < np1;) {
+              const std::int64_t n0 = np * kGemmNR;
+              // Full interior pair of column panels: take the
+              // double-panel kernel when the tier has one. Bitwise
+              // identical to two single-panel calls (see the x2
+              // declaration in gemm_kernel.hpp), so pairing — which
+              // shifts with the macro-block edge but never with the
+              // thread count — does not affect determinism.
+              if (micro_x2 != nullptr && mr == kGemmMR && np + 2 <= np1 &&
+                  n0 + 2 * kGemmNR <= n) {
+                micro_x2(a_panel, pb_data + np * k * kGemmNR, k,
+                         c + m0 * n + n0, n, epilogue, brow,
+                         col_bias ? bias + n0 : nullptr);
+                np += 2;
+                continue;
+              }
+              const std::int64_t nr = std::min(kGemmNR, n - n0);
+              const float* b_panel = pb_data + np * k * kGemmNR;
+              const float* bcol = nullptr;
+              if (col_bias) {
+                if (nr == kGemmNR) {
+                  bcol = bias + n0;
+                } else {
+                  for (std::int64_t j = 0; j < kGemmNR; ++j)
+                    bias_col_pad[j] = j < nr ? bias[n0 + j] : 0.f;
+                  bcol = bias_col_pad;
+                }
+              }
+              if (mr == kGemmMR && nr == kGemmNR) {
+                micro(a_panel, b_panel, k, c + m0 * n + n0, n, epilogue,
+                      brow, bcol);
+              } else {
+                micro(a_panel, b_panel, k, tmp, kGemmNR, epilogue, brow,
+                      bcol);
+                for (std::int64_t r = 0; r < mr; ++r)
+                  std::memcpy(c + (m0 + r) * n + n0, tmp + r * kGemmNR,
+                              static_cast<std::size_t>(nr) * sizeof(float));
+              }
+              ++np;
+            }
+            ++mp;
+          }
+        }
+      },
+      1);
+}
+
+}  // namespace dlbench::tensor

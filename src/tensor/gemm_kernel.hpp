@@ -1,0 +1,164 @@
+#pragma once
+
+// Packed-panel, register-blocked GEMM — the micro-kernel layer under
+// every matmul and im2col convolution (DESIGN.md §11).
+//
+//   C(M x N) = op(A) · op(B) [+ bias] [then ReLU]
+//
+// Operands are given by base pointer + (row, col) element strides, so
+// the transposed variants (matmul_tn / matmul_nt) are the same kernel
+// with swapped strides; the packing layer (pack.hpp) turns any stride
+// pattern into unit-stride panels. The inner loop is an MR x NR
+// register-blocked micro-kernel selected at runtime from the dispatch
+// table in runtime/device (AVX2+FMA when built and supported, portable
+// scalar otherwise; DLB_SIMD=scalar forces the fallback).
+//
+// Determinism contract: C(m, n) is always the single-accumulator chain
+//   acc = init; for k = 0..K-1 in order: acc = acc + A(m,k)*B(k,n)
+// There is no K-splitting and no cross-thread reduction: every C tile
+// is computed start-to-finish by exactly one thread, so results are
+// bitwise identical across thread counts and across runs. Zero-padded
+// edge lanes never feed a real output element.
+//
+// Rounding contract (GemmMath): the legacy kernels this layer replaces
+// were auto-vectorized two different ways, and replaying their exact
+// bits requires matching the rounding of each:
+//   kFma    — one fused multiply-add per (k, element), no intermediate
+//             rounding. This is what the compiler contracted the
+//             row-blocked matmul / matmul_tn / conv loops into.
+//   kMulAdd — round the product, then round the add (two roundings per
+//             step). The matmul_nt dot-product loop vectorized into
+//             separate vmulps + an ordered chain of lane adds, which
+//             never contracts, so its packed replacement must not
+//             contract either (the kMulAdd kernels live in translation
+//             units built with -ffp-contract=off to pin this down).
+//
+// The epilogue is applied while the tile is still in registers, which
+// is what lets a dense layer skip a full output-tensor round trip for
+// bias and activation:
+//   kBiasColAdd[Relu]  — y[m, n] += bias[n] after the K loop (Linear's
+//                        layout; identical bits to a separate
+//                        add_row_bias pass).
+//   kBiasRowInit       — acc starts at bias[m] (conv's layout: one bias
+//                        per output channel; identical bits to the
+//                        legacy fill-then-accumulate kernel).
+
+#include <cstdint>
+
+#include "runtime/device.hpp"
+
+namespace dlbench::tensor {
+
+enum class GemmEpilogue {
+  kNone,         // C = A·B
+  kBiasColAdd,   // C = A·B + bias[n] (broadcast over rows)
+  kBiasColRelu,  // C = relu(A·B + bias[n])
+  kBiasRowInit,  // C = bias[m] + A·B (broadcast over columns)
+  kBiasRowRelu,  // C = relu(bias[m] + A·B)
+};
+
+/// Per-step rounding of the K loop; see the rounding contract above.
+enum class GemmMath {
+  kFma,     // acc = fma(a, b, acc) — one rounding per step
+  kMulAdd,  // acc = acc + round(a*b) — two roundings per step
+};
+
+/// True when matmul/conv route through the packed SIMD kernel; false
+/// means the legacy row kernels run instead (scalar tier).
+bool gemm_packed_active();
+
+/// Packed GEMM. A(m, k) = a[m*a_rs + k*a_cs], B(k, n) = b[k*b_rs +
+/// n*b_cs], C is written dense row-major [M, N]. `bias` must have N
+/// entries for the column epilogues, M entries for the row epilogues,
+/// and may be null for kNone. Parallelizes over macro-tiles of C via
+/// `dev`; bitwise-deterministic for any worker count.
+void gemm_packed(const float* a, std::int64_t a_rs, std::int64_t a_cs,
+                 const float* b, std::int64_t b_rs, std::int64_t b_cs,
+                 float* c, std::int64_t m, std::int64_t k, std::int64_t n,
+                 GemmEpilogue epilogue, const float* bias,
+                 const runtime::Device& dev, GemmMath math = GemmMath::kFma);
+
+namespace detail {
+
+/// Computes one MR x NR tile from packed panels into `out` (row stride
+/// `ldo`), applying the epilogue. `bias_row` points at MR entries,
+/// `bias_col` at NR entries (zero-padded by the caller on edge tiles);
+/// unused ones may be null.
+using MicroKernelFn = void (*)(const float* a_panel, const float* b_panel,
+                               std::int64_t k, float* out, std::int64_t ldo,
+                               GemmEpilogue epilogue, const float* bias_row,
+                               const float* bias_col);
+
+/// Portable scalar micro-kernel, kFma rounding (always available).
+void micro_kernel_scalar(const float* a_panel, const float* b_panel,
+                         std::int64_t k, float* out, std::int64_t ldo,
+                         GemmEpilogue epilogue, const float* bias_row,
+                         const float* bias_col);
+
+/// Portable scalar micro-kernel, kMulAdd rounding (always available;
+/// gemm_kernel_nofma.cpp, built with -ffp-contract=off).
+void micro_kernel_scalar_muladd(const float* a_panel, const float* b_panel,
+                                std::int64_t k, float* out, std::int64_t ldo,
+                                GemmEpilogue epilogue, const float* bias_row,
+                                const float* bias_col);
+
+#if defined(DLB_HAVE_AVX2_BUILD)
+/// AVX2+FMA micro-kernel, kFma rounding (gemm_kernel_avx2.cpp; only
+/// dispatched when cpuid reports AVX2 and FMA).
+void micro_kernel_avx2fma(const float* a_panel, const float* b_panel,
+                          std::int64_t k, float* out, std::int64_t ldo,
+                          GemmEpilogue epilogue, const float* bias_row,
+                          const float* bias_col);
+
+/// AVX2 micro-kernel, kMulAdd rounding (gemm_kernel_avx2_nofma.cpp,
+/// built with -mavx2 -ffp-contract=off; same dispatch gate).
+void micro_kernel_avx2_muladd(const float* a_panel, const float* b_panel,
+                              std::int64_t k, float* out, std::int64_t ldo,
+                              GemmEpilogue epilogue, const float* bias_row,
+                              const float* bias_col);
+#endif
+
+#if defined(DLB_HAVE_AVX512_BUILD)
+/// AVX-512F micro-kernels (gemm_kernel_avx512[_nofma].cpp; only
+/// dispatched when cpuid reports AVX-512F). One NR panel is one zmm;
+/// bitwise identical to the AVX2 kernels of the same GemmMath.
+void micro_kernel_avx512(const float* a_panel, const float* b_panel,
+                         std::int64_t k, float* out, std::int64_t ldo,
+                         GemmEpilogue epilogue, const float* bias_row,
+                         const float* bias_col);
+
+void micro_kernel_avx512_muladd(const float* a_panel, const float* b_panel,
+                                std::int64_t k, float* out, std::int64_t ldo,
+                                GemmEpilogue epilogue, const float* bias_row,
+                                const float* bias_col);
+
+/// Double-width AVX-512 kFma kernel: one call computes an MR x 2*NR
+/// tile from two adjacent packed-B panels (`b_panels` points at panel
+/// np; panel np+1 follows at b_panels + k*kGemmNR). Each A broadcast
+/// feeds two fmadds, doubling the independent accumulator chains (12)
+/// so the K loop is FMA-throughput-bound instead of latency-bound.
+/// Per-element accumulation is the same single ascending-k chain, so
+/// the result is bitwise identical to two single-panel calls. Full
+/// tiles only: `bias_col` (when used) must have 2*NR valid entries and
+/// `out` 2*NR writable columns per row.
+void micro_kernel_avx512_x2(const float* a_panel, const float* b_panels,
+                            std::int64_t k, float* out, std::int64_t ldo,
+                            GemmEpilogue epilogue, const float* bias_row,
+                            const float* bias_col);
+
+/// Quad tile: 2*MR x 2*NR from two adjacent A row panels (`a_panels`
+/// points at panel mp; panel mp+1 follows at a_panels + k*kGemmMR) and
+/// two adjacent B panels, 24 accumulator chains. Halves the per-flop
+/// packed-B traffic of the x2 kernel (each B vector now feeds 12 rows
+/// per load) at the same FMA-throughput bound. Same bitwise guarantee
+/// and full-tile requirements as x2; `bias_row` (when used) must have
+/// 2*MR valid entries.
+void micro_kernel_avx512_2x2(const float* a_panels, const float* b_panels,
+                             std::int64_t k, float* out, std::int64_t ldo,
+                             GemmEpilogue epilogue, const float* bias_row,
+                             const float* bias_col);
+#endif
+
+}  // namespace detail
+
+}  // namespace dlbench::tensor

@@ -1,0 +1,78 @@
+// AVX-512F kMulAdd micro-kernel (gemm_kernel.hpp). Compiled with
+// -mavx512f -ffp-contract=off; only reachable on the kAvx512F tier.
+// Same shape as gemm_kernel_avx512.cpp but every step is an explicit
+// multiply then add — two roundings per (k, element); the contraction
+// flag on this file keeps the compiler from fusing the generic vector
+// * and + these intrinsics lower to (see the rounding contract in
+// gemm_kernel.hpp).
+
+#include <immintrin.h>
+
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/pack.hpp"
+
+namespace dlbench::tensor::detail {
+
+static_assert(kGemmMR == 6 && kGemmNR == 16,
+              "micro-kernel register blocking is hard-coded to 6x16");
+
+void micro_kernel_avx512_muladd(const float* a_panel, const float* b_panel,
+                                std::int64_t k, float* out, std::int64_t ldo,
+                                GemmEpilogue epilogue, const float* bias_row,
+                                const float* bias_col) {
+  __m512 c0, c1, c2, c3, c4, c5;
+  if (epilogue == GemmEpilogue::kBiasRowInit ||
+      epilogue == GemmEpilogue::kBiasRowRelu) {
+    c0 = _mm512_set1_ps(bias_row[0]);
+    c1 = _mm512_set1_ps(bias_row[1]);
+    c2 = _mm512_set1_ps(bias_row[2]);
+    c3 = _mm512_set1_ps(bias_row[3]);
+    c4 = _mm512_set1_ps(bias_row[4]);
+    c5 = _mm512_set1_ps(bias_row[5]);
+  } else {
+    c0 = c1 = c2 = c3 = c4 = c5 = _mm512_setzero_ps();
+  }
+
+  const float* a = a_panel;
+  const float* b = b_panel;
+#pragma GCC unroll 4
+  for (std::int64_t kk = 0; kk < k; ++kk, a += kGemmMR, b += kGemmNR) {
+    const __m512 bv = _mm512_loadu_ps(b);
+    c0 = _mm512_add_ps(c0, _mm512_mul_ps(_mm512_set1_ps(a[0]), bv));
+    c1 = _mm512_add_ps(c1, _mm512_mul_ps(_mm512_set1_ps(a[1]), bv));
+    c2 = _mm512_add_ps(c2, _mm512_mul_ps(_mm512_set1_ps(a[2]), bv));
+    c3 = _mm512_add_ps(c3, _mm512_mul_ps(_mm512_set1_ps(a[3]), bv));
+    c4 = _mm512_add_ps(c4, _mm512_mul_ps(_mm512_set1_ps(a[4]), bv));
+    c5 = _mm512_add_ps(c5, _mm512_mul_ps(_mm512_set1_ps(a[5]), bv));
+  }
+
+  if (epilogue == GemmEpilogue::kBiasColAdd ||
+      epilogue == GemmEpilogue::kBiasColRelu) {
+    const __m512 bias = _mm512_loadu_ps(bias_col);
+    c0 = _mm512_add_ps(c0, bias);
+    c1 = _mm512_add_ps(c1, bias);
+    c2 = _mm512_add_ps(c2, bias);
+    c3 = _mm512_add_ps(c3, bias);
+    c4 = _mm512_add_ps(c4, bias);
+    c5 = _mm512_add_ps(c5, bias);
+  }
+  if (epilogue == GemmEpilogue::kBiasColRelu ||
+      epilogue == GemmEpilogue::kBiasRowRelu) {
+    const __m512 zero = _mm512_setzero_ps();
+    c0 = _mm512_max_ps(c0, zero);
+    c1 = _mm512_max_ps(c1, zero);
+    c2 = _mm512_max_ps(c2, zero);
+    c3 = _mm512_max_ps(c3, zero);
+    c4 = _mm512_max_ps(c4, zero);
+    c5 = _mm512_max_ps(c5, zero);
+  }
+
+  _mm512_storeu_ps(out + 0 * ldo, c0);
+  _mm512_storeu_ps(out + 1 * ldo, c1);
+  _mm512_storeu_ps(out + 2 * ldo, c2);
+  _mm512_storeu_ps(out + 3 * ldo, c3);
+  _mm512_storeu_ps(out + 4 * ldo, c4);
+  _mm512_storeu_ps(out + 5 * ldo, c5);
+}
+
+}  // namespace dlbench::tensor::detail

@@ -1,0 +1,51 @@
+// Portable kMulAdd micro-kernel (gemm_kernel.hpp). This translation
+// unit is compiled with -ffp-contract=off: the whole point of the
+// kMulAdd rounding contract is that the product is rounded before the
+// add, and the default contraction mode would silently fuse
+// `acc += av * b[j]` back into one fma, collapsing the two kernels
+// into the same bits on some compilers and not others.
+
+#include <cstring>
+
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/pack.hpp"
+
+namespace dlbench::tensor::detail {
+
+void micro_kernel_scalar_muladd(const float* a_panel, const float* b_panel,
+                                std::int64_t k, float* out, std::int64_t ldo,
+                                GemmEpilogue epilogue, const float* bias_row,
+                                const float* bias_col) {
+  float acc[kGemmMR][kGemmNR];
+  if (epilogue == GemmEpilogue::kBiasRowInit ||
+      epilogue == GemmEpilogue::kBiasRowRelu) {
+    for (std::int64_t r = 0; r < kGemmMR; ++r)
+      for (std::int64_t j = 0; j < kGemmNR; ++j) acc[r][j] = bias_row[r];
+  } else {
+    std::memset(acc, 0, sizeof(acc));
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* a = a_panel + kk * kGemmMR;
+    const float* b = b_panel + kk * kGemmNR;
+    for (std::int64_t r = 0; r < kGemmMR; ++r) {
+      const float av = a[r];
+      for (std::int64_t j = 0; j < kGemmNR; ++j) acc[r][j] += av * b[j];
+    }
+  }
+  if (epilogue == GemmEpilogue::kBiasColAdd ||
+      epilogue == GemmEpilogue::kBiasColRelu) {
+    for (std::int64_t r = 0; r < kGemmMR; ++r)
+      for (std::int64_t j = 0; j < kGemmNR; ++j) acc[r][j] += bias_col[j];
+  }
+  if (epilogue == GemmEpilogue::kBiasColRelu ||
+      epilogue == GemmEpilogue::kBiasRowRelu) {
+    for (std::int64_t r = 0; r < kGemmMR; ++r)
+      for (std::int64_t j = 0; j < kGemmNR; ++j)
+        acc[r][j] = acc[r][j] > 0.f ? acc[r][j] : 0.f;
+  }
+  for (std::int64_t r = 0; r < kGemmMR; ++r)
+    std::memcpy(out + r * ldo, acc[r],
+                static_cast<std::size_t>(kGemmNR) * sizeof(float));
+}
+
+}  // namespace dlbench::tensor::detail

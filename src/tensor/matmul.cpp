@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "runtime/trace.hpp"
+#include "tensor/gemm_kernel.hpp"
+#include "tensor/ops.hpp"
 #include "util/error.hpp"
 
 namespace dlbench::tensor {
@@ -11,9 +13,10 @@ using runtime::Device;
 
 namespace {
 
-// Rows-of-A parallel GEMM, 4-row register blocking so each row of B is
-// read once per 4 output rows (the kernel is bandwidth-bound otherwise):
-// C[m..m+3, :] += A[m..m+3, k] * B[k, :].
+// Legacy rows-of-A parallel GEMM, 4-row register blocking so each row
+// of B is read once per 4 output rows (the kernel is bandwidth-bound
+// otherwise): C[m..m+3, :] += A[m..m+3, k] * B[k, :]. This is the
+// scalar-tier kernel and the packed kernel's benchmark baseline.
 void gemm_rows(const float* a, const float* b, float* c, std::int64_t M,
                std::int64_t K, std::int64_t N, const Device& dev) {
   dev.parallel_for(
@@ -61,29 +64,98 @@ void gemm_rows(const float* a, const float* b, float* c, std::int64_t M,
       4);
 }
 
+void check_rank2(const Tensor& a, const Tensor& b, const char* name) {
+  DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
+            name << " expects rank-2 operands");
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b, const Device& dev) {
   runtime::trace::Span span("matmul", "kernel");
-  DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
-            "matmul expects rank-2 operands");
+  check_rank2(a, b, "matmul");
   const std::int64_t M = a.dim(0), K = a.dim(1);
   DLB_CHECK(b.dim(0) == K, "matmul: inner dims " << K << " vs " << b.dim(0));
+  const std::int64_t N = b.dim(1);
+  Tensor c = Tensor::uninit(Shape({M, N}));  // both branches write all of C
+  if (gemm_packed_active()) {
+    gemm_packed(a.raw(), K, 1, b.raw(), N, 1, c.raw(), M, K, N,
+                GemmEpilogue::kNone, nullptr, dev);
+  } else {
+    gemm_rows(a.raw(), b.raw(), c.raw(), M, K, N, dev);
+  }
+  return c;
+}
+
+Tensor matmul_rows_reference(const Tensor& a, const Tensor& b,
+                             const Device& dev) {
+  check_rank2(a, b, "matmul_rows_reference");
+  const std::int64_t M = a.dim(0), K = a.dim(1);
+  DLB_CHECK(b.dim(0) == K,
+            "matmul_rows_reference: inner dims " << K << " vs " << b.dim(0));
   const std::int64_t N = b.dim(1);
   Tensor c({M, N});
   gemm_rows(a.raw(), b.raw(), c.raw(), M, K, N, dev);
   return c;
 }
 
+Tensor matmul_bias(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   const Device& dev) {
+  runtime::trace::Span span("matmul_bias", "kernel");
+  check_rank2(a, b, "matmul_bias");
+  const std::int64_t M = a.dim(0), K = a.dim(1);
+  DLB_CHECK(b.dim(0) == K,
+            "matmul_bias: inner dims " << K << " vs " << b.dim(0));
+  const std::int64_t N = b.dim(1);
+  DLB_CHECK(bias.shape().rank() == 1 && bias.dim(0) == N,
+            "matmul_bias: bias must be [N]");
+  Tensor c = Tensor::uninit(Shape({M, N}));  // both branches write all of C
+  if (gemm_packed_active()) {
+    gemm_packed(a.raw(), K, 1, b.raw(), N, 1, c.raw(), M, K, N,
+                GemmEpilogue::kBiasColAdd, bias.raw(), dev);
+  } else {
+    gemm_rows(a.raw(), b.raw(), c.raw(), M, K, N, dev);
+    add_row_bias(c, bias, dev);
+  }
+  return c;
+}
+
+Tensor matmul_bias_relu(const Tensor& a, const Tensor& b, const Tensor& bias,
+                        const Device& dev) {
+  runtime::trace::Span span("matmul_bias_relu", "kernel");
+  check_rank2(a, b, "matmul_bias_relu");
+  const std::int64_t M = a.dim(0), K = a.dim(1);
+  DLB_CHECK(b.dim(0) == K,
+            "matmul_bias_relu: inner dims " << K << " vs " << b.dim(0));
+  const std::int64_t N = b.dim(1);
+  DLB_CHECK(bias.shape().rank() == 1 && bias.dim(0) == N,
+            "matmul_bias_relu: bias must be [N]");
+  Tensor c = Tensor::uninit(Shape({M, N}));  // both branches write all of C
+  if (gemm_packed_active()) {
+    gemm_packed(a.raw(), K, 1, b.raw(), N, 1, c.raw(), M, K, N,
+                GemmEpilogue::kBiasColRelu, bias.raw(), dev);
+  } else {
+    gemm_rows(a.raw(), b.raw(), c.raw(), M, K, N, dev);
+    add_row_bias(c, bias, dev);
+    c = relu(c, dev);
+  }
+  return c;
+}
+
 Tensor matmul_tn(const Tensor& a, const Tensor& b, const Device& dev) {
   runtime::trace::Span span("matmul_tn", "kernel");
   // a is stored [K, M]; compute C[M, N] = sum_k a[k, m] * b[k, n].
-  DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
-            "matmul_tn expects rank-2 operands");
+  check_rank2(a, b, "matmul_tn");
   const std::int64_t K = a.dim(0), M = a.dim(1);
   DLB_CHECK(b.dim(0) == K, "matmul_tn: inner dims " << K << " vs " << b.dim(0));
   const std::int64_t N = b.dim(1);
-  Tensor c({M, N});
+  Tensor c = Tensor::uninit(Shape({M, N}));  // both branches write all of C
+  if (gemm_packed_active()) {
+    // A(m, k) lives at a[k*M + m]: row stride 1, column stride M.
+    gemm_packed(a.raw(), 1, M, b.raw(), N, 1, c.raw(), M, K, N,
+                GemmEpilogue::kNone, nullptr, dev);
+    return c;
+  }
   float* pc = c.raw();
   const float* pa = a.raw();
   const float* pb = b.raw();
@@ -108,12 +180,20 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b, const Device& dev) {
 Tensor matmul_nt(const Tensor& a, const Tensor& b, const Device& dev) {
   runtime::trace::Span span("matmul_nt", "kernel");
   // b is stored [N, K]; compute C[M, N] = sum_k a[m, k] * b[n, k].
-  DLB_CHECK(a.shape().rank() == 2 && b.shape().rank() == 2,
-            "matmul_nt expects rank-2 operands");
+  check_rank2(a, b, "matmul_nt");
   const std::int64_t M = a.dim(0), K = a.dim(1);
   DLB_CHECK(b.dim(1) == K, "matmul_nt: inner dims " << K << " vs " << b.dim(1));
   const std::int64_t N = b.dim(0);
   Tensor c({M, N});
+  // Deliberately NOT routed through the packed kernel on any tier. The
+  // auto-vectorizer turns this dot-product loop into a K-dependent mix
+  // of roundings (separate vmulps + ordered lane adds for the main
+  // body, a contracted scalar-fma tail for the last K mod 8 steps), so
+  // no single GemmMath variant reproduces its bits for every K, and
+  // changing them would shift the recorded golden training
+  // trajectories. The loop already vectorizes well, and the packing
+  // cost gemm_packed would pay per call (B is [N, K], gathered
+  // column-wise) is largest exactly here. See DESIGN.md §11.
   float* pc = c.raw();
   const float* pa = a.raw();
   const float* pb = b.raw();

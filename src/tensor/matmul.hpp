@@ -1,15 +1,22 @@
 #pragma once
 
-// Dense GEMM kernels. Convolution lowers to matmul via im2col, and the
-// fully connected layers are matmuls directly, so this is the hot path
-// of every experiment.
+// Dense GEMM entry points. Convolution lowers to matmul via im2col, and
+// the fully connected layers are matmuls directly, so this is the hot
+// path of every experiment.
+//
+// Each call dispatches on runtime::active_simd_level(): the AVX2+FMA
+// tier routes through the packed-panel micro-kernel (gemm_kernel.hpp),
+// the scalar tier runs the legacy row-blocked kernels below unchanged.
+// Both tiers are bitwise-deterministic across thread counts; see
+// DESIGN.md §11 for the dispatch table and determinism contract.
 
 #include "runtime/device.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dlbench::tensor {
 
-/// C = A(MxK) * B(KxN). Parallelized over rows of A on the GPU device.
+/// C = A(MxK) * B(KxN). Parallelized over macro-tiles (packed tier) or
+/// rows of A (scalar tier).
 Tensor matmul(const Tensor& a, const Tensor& b, const runtime::Device& dev);
 
 /// C = A^T(MxK as KxM stored) * B(KxN)  → matmul_tn(a, b): a is [K, M].
@@ -17,6 +24,23 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b, const runtime::Device& dev);
 
 /// C = A(MxK) * B^T where b is [N, K]  → result [M, N].
 Tensor matmul_nt(const Tensor& a, const Tensor& b, const runtime::Device& dev);
+
+/// Fused dense forward: C = A*B + bias[N], the bias applied in the GEMM
+/// epilogue while the output tile is in registers (no second pass over
+/// C). Bitwise-identical to matmul + add_row_bias.
+Tensor matmul_bias(const Tensor& a, const Tensor& b, const Tensor& bias,
+                   const runtime::Device& dev);
+
+/// Fused dense forward + activation: C = relu(A*B + bias[N]).
+/// Bitwise-identical to matmul + add_row_bias + relu.
+Tensor matmul_bias_relu(const Tensor& a, const Tensor& b, const Tensor& bias,
+                        const runtime::Device& dev);
+
+/// The pre-packing row-blocked kernel, kept callable on every tier as
+/// the benchmarking baseline (bench_micro_tensor) and the packed
+/// kernel's differential-test reference (kernel_diff_test).
+Tensor matmul_rows_reference(const Tensor& a, const Tensor& b,
+                             const runtime::Device& dev);
 
 /// y[M,N] += bias[N] broadcast over rows.
 void add_row_bias(Tensor& y, const Tensor& bias, const runtime::Device& dev);

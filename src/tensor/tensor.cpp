@@ -29,6 +29,17 @@ Tensor::Tensor(Shape shape, std::span<const float> values)
   std::memcpy(data_.get(), values.data(), values.size() * sizeof(float));
 }
 
+Tensor Tensor::uninit(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  const auto n = static_cast<std::size_t>(t.shape_.numel());
+  t.data_ = std::shared_ptr<float[]>(new float[n]);
+  runtime::trace::counter_add("tensor.allocs", 1);
+  runtime::trace::counter_add("tensor.bytes",
+                              static_cast<std::int64_t>(n * sizeof(float)));
+  return t;
+}
+
 Tensor Tensor::full(Shape shape, float value) {
   return Tensor(std::move(shape), value);
 }

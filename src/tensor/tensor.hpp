@@ -34,6 +34,10 @@ class Tensor {
   Tensor(Shape shape, std::span<const float> values);
 
   static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  /// Allocates WITHOUT zero-filling. Only for destinations every
+  /// element of which the caller immediately overwrites (GEMM / conv
+  /// outputs); reading before writing is undefined.
+  static Tensor uninit(Shape shape);
   static Tensor full(Shape shape, float value);
   /// i.i.d. N(mean, stddev) entries.
   static Tensor randn(Shape shape, util::Rng& rng, float mean = 0.f,

@@ -188,6 +188,68 @@ TEST(GradCheckTest, Linear) {
   }
 }
 
+// Fused dense+activation layer (single matmul_bias_relu kernel call).
+// The objective's weighting is fixed, so kink crossings at relu(0) are
+// the only hazard; the small dims keep pre-activations generic and the
+// seeds are fixed, making any pass deterministic.
+TEST(GradCheckTest, LinearReLUFused) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    const std::int64_t batch = 2 + static_cast<std::int64_t>(seed % 3);
+    const std::int64_t in = 4 + static_cast<std::int64_t>(seed % 5);
+    const std::int64_t out = 3 + static_cast<std::int64_t>(seed % 4);
+    LinearReLU layer(in, out, tensor::InitKind::kXavierUniform, rng);
+    Tensor x = Tensor::randn(Shape({batch, in}), rng);
+    gradcheck_layer(layer, x, seed, CheckTolerance{});
+  }
+}
+
+// The fused layer against the unfused pair it replaces: identical
+// parameters must give bitwise-identical activations and gradients
+// (the fused epilogue reorders no float operation; see DESIGN.md §11).
+TEST(GradCheckTest, LinearReLUFusedMatchesUnfusedPairBitwise) {
+  for (const std::uint64_t seed : kSeeds) {
+    util::Rng rng(seed);
+    const std::int64_t batch = 3, in = 19, out = 37;  // crosses 6/16 tiles
+    LinearReLU fused(in, out, tensor::InitKind::kXavierUniform, rng);
+    util::Rng scratch(1);
+    Linear linear(in, out, tensor::InitKind::kXavierUniform, scratch);
+    ReLU relu_layer;
+    // Copy fused params into the unfused Linear.
+    auto src = fused.params();
+    auto dst = linear.params();
+    ASSERT_EQ(src.size(), dst.size());
+    for (std::size_t p = 0; p < src.size(); ++p) {
+      auto s = src[p]->data();
+      auto d = dst[p]->data();
+      ASSERT_EQ(s.size(), d.size());
+      std::copy(s.begin(), s.end(), d.begin());
+    }
+    Tensor x = Tensor::randn(Shape({batch, in}), rng);
+    Context ctx;
+    fused.zero_grads();
+    linear.zero_grads();
+    Tensor y_fused = fused.forward(x, ctx);
+    Tensor y_ref = relu_layer.forward(linear.forward(x, ctx), ctx);
+    ASSERT_EQ(y_fused.numel(), y_ref.numel());
+    for (std::int64_t i = 0; i < y_fused.numel(); ++i)
+      ASSERT_EQ(y_fused.at(i), y_ref.at(i)) << "forward bit at " << i;
+
+    Tensor dy = Tensor::rand_uniform(y_fused.shape(), rng, -1.f, 1.f);
+    Tensor dx_fused = fused.backward(dy, ctx);
+    Tensor dx_ref = linear.backward(relu_layer.backward(dy, ctx), ctx);
+    for (std::int64_t i = 0; i < dx_fused.numel(); ++i)
+      ASSERT_EQ(dx_fused.at(i), dx_ref.at(i)) << "dx bit at " << i;
+    for (std::size_t p = 0; p < src.size(); ++p) {
+      auto g_fused = fused.grads()[p]->data();
+      auto g_ref = linear.grads()[p]->data();
+      for (std::size_t i = 0; i < g_fused.size(); ++i)
+        ASSERT_EQ(g_fused[i], g_ref[i])
+            << "param" << p << " grad bit at " << i;
+    }
+  }
+}
+
 TEST(GradCheckTest, Conv2d) {
   for (const std::uint64_t seed : kSeeds) {
     util::Rng rng(seed);

@@ -15,7 +15,10 @@
 #include "nn/layers.hpp"
 #include "runtime/device.hpp"
 #include "tensor/conv.hpp"
+#include "tensor/gemm_kernel.hpp"
 #include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/pack.hpp"
 #include "util/rng.hpp"
 
 namespace dlbench::tensor {
@@ -312,6 +315,231 @@ TEST(KernelDiffTest, ConvWeightGradsAreRunToRunDeterministicUnderThreads) {
     expect_close(db_first, db_serial, 1e-3, "dbias serial-vs-threaded");
   }
 }
+
+// ---------------------------------------------------------------------------
+// Packed-GEMM layer (gemm_kernel.hpp): parity with the legacy row
+// kernel, direct driver coverage of strides / epilogues / both GemmMath
+// roundings, fused-epilogue bitwise equivalence, and determinism at the
+// register-blocking boundaries.
+// ---------------------------------------------------------------------------
+
+// Shapes that hit every edge of the 6x16 blocking and its paired 12x32
+// macro tiles: K=1, N below one panel, M not divisible by MR, and sizes
+// straddling the row-pair (12) and column-pair (32) boundaries.
+const MatDims kEdgeDims[] = {
+    {1, 1, 1},   {1, 1, 15},  {5, 1, 16},  {6, 1, 7},   {6, 1, 1},
+    {7, 3, 15},  {11, 2, 31}, {12, 5, 32}, {13, 8, 33}, {18, 1, 16},
+    {23, 7, 48}, {24, 9, 31}, {25, 4, 64}, {48, 1, 33}, {50, 13, 50},
+    {12, 1, 32}, {36, 2, 96}, {5, 40, 11}, {1, 40, 96}, {96, 3, 1},
+};
+
+// The packed path against the retained legacy row kernel over the edge
+// shapes plus randoms (>= 50 total). Summation order differs, so this
+// is a tolerance comparison; bitwise coverage is below.
+TEST(KernelDiffTest, PackedMatmulMatchesRowsReferenceAcrossShapes) {
+  util::Rng rng(808);
+  const Device serial = Device::cpu();
+  const Device threaded = Device::parallel(4);
+  std::vector<MatDims> dims(std::begin(kEdgeDims), std::end(kEdgeDims));
+  while (dims.size() < 56) dims.push_back(random_dims(rng));
+  for (const MatDims& d : dims) {
+    Tensor a = Tensor::randn(Shape({d.m, d.k}), rng);
+    Tensor b = Tensor::randn(Shape({d.k, d.n}), rng);
+    const Tensor want = matmul_rows_reference(a, b, serial);
+    const std::string what = "packed-vs-rows " + std::to_string(d.m) + "x" +
+                             std::to_string(d.k) + "x" + std::to_string(d.n);
+    expect_close(matmul(a, b, serial), want, 1e-3, what + " serial");
+    expect_close(matmul(a, b, threaded), want, 1e-3, what + " threaded");
+  }
+}
+
+// Double-precision reference for a gemm_packed call with arbitrary
+// element strides and epilogue.
+Tensor naive_gemm_ep(const Tensor& a, std::int64_t a_rs, std::int64_t a_cs,
+                     const Tensor& b, std::int64_t b_rs, std::int64_t b_cs,
+                     std::int64_t m, std::int64_t k, std::int64_t n,
+                     GemmEpilogue ep, const Tensor* bias) {
+  Tensor c(Shape({m, n}));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = (ep == GemmEpilogue::kBiasRowInit ||
+                    ep == GemmEpilogue::kBiasRowRelu)
+                       ? static_cast<double>(bias->at(i))
+                       : 0.0;
+      for (std::int64_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a.at(i * a_rs + p * a_cs)) *
+               static_cast<double>(b.at(p * b_rs + j * b_cs));
+      if (ep == GemmEpilogue::kBiasColAdd || ep == GemmEpilogue::kBiasColRelu)
+        acc += static_cast<double>(bias->at(j));
+      if (ep == GemmEpilogue::kBiasColRelu || ep == GemmEpilogue::kBiasRowRelu)
+        acc = acc > 0.0 ? acc : 0.0;
+      c.at(i * n + j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+// Direct gemm_packed calls: every epilogue x both GemmMath roundings x
+// the three stride patterns the matmul family uses (row-major,
+// transposed A, transposed B), on serial and threaded devices.
+TEST(KernelDiffTest, GemmPackedCoversStridesEpiloguesAndBothRoundings) {
+  util::Rng rng(909);
+  const Device serial = Device::cpu();
+  const Device threaded = Device::parallel(3);
+  const MatDims cases[] = {{5, 3, 17}, {12, 7, 32}, {13, 1, 33}, {26, 9, 31}};
+  const GemmEpilogue eps[] = {
+      GemmEpilogue::kNone, GemmEpilogue::kBiasColAdd,
+      GemmEpilogue::kBiasColRelu, GemmEpilogue::kBiasRowInit,
+      GemmEpilogue::kBiasRowRelu};
+  for (const MatDims& d : cases) {
+    Tensor a = Tensor::randn(Shape({d.m, d.k}), rng);
+    Tensor at = Tensor::randn(Shape({d.k, d.m}), rng);  // A^T storage
+    Tensor b = Tensor::randn(Shape({d.k, d.n}), rng);
+    Tensor bt = Tensor::randn(Shape({d.n, d.k}), rng);  // B^T storage
+    Tensor bias_col = Tensor::randn(Shape({d.n}), rng);
+    Tensor bias_row = Tensor::randn(Shape({d.m}), rng);
+    for (const GemmEpilogue ep : eps) {
+      const bool row = ep == GemmEpilogue::kBiasRowInit ||
+                       ep == GemmEpilogue::kBiasRowRelu;
+      const Tensor* bias =
+          ep == GemmEpilogue::kNone ? nullptr : (row ? &bias_row : &bias_col);
+      for (const GemmMath math : {GemmMath::kFma, GemmMath::kMulAdd}) {
+        const std::string what =
+            "gemm_packed " + std::to_string(d.m) + "x" + std::to_string(d.k) +
+            "x" + std::to_string(d.n) + " ep=" +
+            std::to_string(static_cast<int>(ep)) +
+            " math=" + std::to_string(static_cast<int>(math));
+        struct StrideCase {
+          const Tensor* src;
+          std::int64_t rs, cs;
+          const char* tag;
+        };
+        const StrideCase a_cases[] = {{&a, d.k, 1, " a-rowmajor"},
+                                      {&at, 1, d.m, " a-transposed"}};
+        const StrideCase b_cases[] = {{&b, d.n, 1, " b-rowmajor"},
+                                      {&bt, 1, d.k, " b-transposed"}};
+        for (const StrideCase& ac : a_cases) {
+          for (const StrideCase& bc : b_cases) {
+            const Tensor want =
+                naive_gemm_ep(*ac.src, ac.rs, ac.cs, *bc.src, bc.rs, bc.cs,
+                              d.m, d.k, d.n, ep, bias);
+            for (const Device* dev : {&serial, &threaded}) {
+              Tensor got = Tensor::uninit(Shape({d.m, d.n}));
+              gemm_packed(ac.src->raw(), ac.rs, ac.cs, bc.src->raw(), bc.rs,
+                          bc.cs, got.raw(), d.m, d.k, d.n, ep,
+                          bias ? bias->raw() : nullptr, *dev, math);
+              expect_close(got, want, 1e-3, what + ac.tag + bc.tag);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The fused epilogues run while the tile is still in registers, but the
+// float operations and their order are exactly those of the unfused
+// sequence, so the results must be bitwise identical — this is what
+// lets layers fuse without disturbing golden trajectories.
+TEST(KernelDiffTest, FusedBiasEpiloguesBitwiseMatchUnfusedSequence) {
+  util::Rng rng(1010);
+  const Device serial = Device::cpu();
+  const Device threaded = Device::parallel(4);
+  for (const MatDims& d : kEdgeDims) {
+    Tensor a = Tensor::randn(Shape({d.m, d.k}), rng);
+    Tensor b = Tensor::randn(Shape({d.k, d.n}), rng);
+    Tensor bias = Tensor::randn(Shape({d.n}), rng);
+    const std::string what = "fused " + std::to_string(d.m) + "x" +
+                             std::to_string(d.k) + "x" + std::to_string(d.n);
+    for (const Device* dev : {&serial, &threaded}) {
+      Tensor unfused = matmul(a, b, *dev);
+      add_row_bias(unfused, bias, *dev);
+      expect_bitwise_equal(matmul_bias(a, b, bias, *dev), unfused,
+                           what + " bias");
+      expect_bitwise_equal(matmul_bias_relu(a, b, bias, *dev),
+                           relu(unfused, *dev), what + " bias+relu");
+    }
+  }
+}
+
+// Thread-count and run-to-run bitwise determinism for the fused entry
+// points, over shapes that straddle the pairing boundaries (the
+// paired-tile grouping shifts with the worker chunking; the bits must
+// not).
+TEST(KernelDiffTest, FusedMatmulBiasIsThreadCountDeterministic) {
+  util::Rng rng(1111);
+  const Device serial = Device::cpu();
+  for (const MatDims& d : kEdgeDims) {
+    Tensor a = Tensor::randn(Shape({d.m, d.k}), rng);
+    Tensor b = Tensor::randn(Shape({d.k, d.n}), rng);
+    Tensor bias = Tensor::randn(Shape({d.n}), rng);
+    const Tensor want = matmul_bias(a, b, bias, serial);
+    const Tensor want_relu = matmul_bias_relu(a, b, bias, serial);
+    for (const int threads : {2, 3, 8}) {
+      const Device dev = Device::parallel(threads);
+      const std::string tag = std::to_string(d.m) + "x" + std::to_string(d.k) +
+                              "x" + std::to_string(d.n) + " threads=" +
+                              std::to_string(threads);
+      for (int rep = 0; rep < 2; ++rep) {
+        expect_bitwise_equal(matmul_bias(a, b, bias, dev), want,
+                             "matmul_bias " + tag);
+        expect_bitwise_equal(matmul_bias_relu(a, b, bias, dev), want_relu,
+                             "matmul_bias_relu " + tag);
+      }
+    }
+  }
+}
+
+// The wide AVX-512 tiles (x2: 6x32, 2x2: 12x32) against the equivalent
+// sequence of single-tile calls, on hand-packed panels: grouping tiles
+// into one call must not change a single bit (each output element keeps
+// its own ascending-k chain). Skipped on hosts without AVX-512F.
+#if defined(DLB_HAVE_AVX512_BUILD)
+TEST(KernelDiffTest, WideAvx512TilesBitwiseMatchSingleTileCalls) {
+  if (!runtime::cpu_features().avx512f) GTEST_SKIP() << "no AVX-512F host";
+  util::Rng rng(1212);
+  const Device serial = Device::cpu();
+  for (const std::int64_t k : {1L, 7L, 64L, 129L}) {
+    const std::int64_t m = 2 * kGemmMR, n = 2 * kGemmNR;
+    Tensor a = Tensor::randn(Shape({m, k}), rng);
+    Tensor b = Tensor::randn(Shape({k, n}), rng);
+    Tensor bias_col = Tensor::randn(Shape({n}), rng);
+    Tensor bias_row = Tensor::randn(Shape({m}), rng);
+    std::vector<float> pa(static_cast<std::size_t>(2 * kGemmMR * k));
+    std::vector<float> pb(static_cast<std::size_t>(2 * kGemmNR * k));
+    pack_a_panels(a.raw(), k, 1, m, k, pa.data(), serial);
+    pack_b_panels(b.raw(), n, 1, k, n, pb.data(), serial);
+    const GemmEpilogue eps[] = {
+        GemmEpilogue::kNone, GemmEpilogue::kBiasColAdd,
+        GemmEpilogue::kBiasColRelu, GemmEpilogue::kBiasRowInit,
+        GemmEpilogue::kBiasRowRelu};
+    for (const GemmEpilogue ep : eps) {
+      std::vector<float> want(static_cast<std::size_t>(m * n));
+      std::vector<float> got(static_cast<std::size_t>(m * n));
+      // Reference: four single 6x16 tiles.
+      for (int rp = 0; rp < 2; ++rp)
+        for (int cp = 0; cp < 2; ++cp)
+          detail::micro_kernel_avx512(
+              pa.data() + rp * k * kGemmMR, pb.data() + cp * k * kGemmNR, k,
+              want.data() + rp * kGemmMR * n + cp * kGemmNR, n, ep,
+              bias_row.raw() + rp * kGemmMR, bias_col.raw() + cp * kGemmNR);
+      // x2: two 6x32 tiles.
+      for (int rp = 0; rp < 2; ++rp)
+        detail::micro_kernel_avx512_x2(
+            pa.data() + rp * k * kGemmMR, pb.data(), k,
+            got.data() + rp * kGemmMR * n, n, ep,
+            bias_row.raw() + rp * kGemmMR, bias_col.raw());
+      EXPECT_EQ(want, got) << "x2 tile k=" << k
+                           << " ep=" << static_cast<int>(ep);
+      // 2x2: one 12x32 tile.
+      std::fill(got.begin(), got.end(), 0.f);
+      detail::micro_kernel_avx512_2x2(pa.data(), pb.data(), k, got.data(), n,
+                                      ep, bias_row.raw(), bias_col.raw());
+      EXPECT_EQ(want, got) << "2x2 tile k=" << k
+                           << " ep=" << static_cast<int>(ep);
+    }
+  }
+}
+#endif  // DLB_HAVE_AVX512_BUILD
 
 }  // namespace
 }  // namespace dlbench::tensor
