@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "adversarial/engine.hpp"
 #include "bench/paper_values.hpp"
 #include "core/dlbench.hpp"
 #include "runtime/trace.hpp"
@@ -96,6 +97,18 @@ class BenchSession {
     return serve_records_;
   }
 
+  /// Adversarial-sweep variant; lands in the same --json-out (as an
+  /// "attack" array when other record kinds are present).
+  const core::AttackRecord& add(core::AttackRecord record) {
+    attack_records_.push_back(std::move(record));
+    std::cout << core::summarize(attack_records_.back()) << "\n";
+    return attack_records_.back();
+  }
+
+  const std::vector<core::AttackRecord>& attack_records() const {
+    return attack_records_;
+  }
+
   /// Writes --json-out and closes the trace scope (writing --trace-out).
   /// Idempotent; also runs from the destructor.
   void flush() {
@@ -113,21 +126,41 @@ class BenchSession {
   }
 
  private:
-  /// Serve-only runs keep the legacy top-level-array format for
-  /// RunRecords (nothing downstream breaks); mixed runs wrap both
-  /// arrays in one object.
+  /// Single-kind runs keep the legacy top-level-array format
+  /// (nothing downstream breaks); mixed runs wrap the present arrays
+  /// in one object keyed "runs" / "serve" / "attack".
   bool write_json(const std::string& path) const {
-    if (serve_records_.empty())
+    const int kinds = (serve_records_.empty() ? 0 : 1) +
+                      (attack_records_.empty() ? 0 : 1) +
+                      (records_.empty() ? 0 : 1);
+    if (kinds <= 1) {
+      if (!serve_records_.empty())
+        return core::write_serve_records_json(path, serve_records_);
+      if (!attack_records_.empty())
+        return core::write_attack_records_json(path, attack_records_);
       return core::write_records_json(path, records_);
-    if (records_.empty())
-      return core::write_serve_records_json(path, serve_records_);
+    }
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) {
       std::cerr << "warning: cannot open " << path << " for writing\n";
       return false;
     }
-    out << "{\"runs\":" << core::records_json(records_)
-        << ",\"serve\":" << core::serve_records_json(serve_records_) << "}\n";
+    out << "{";
+    bool first = true;
+    if (!records_.empty()) {
+      out << "\"runs\":" << core::records_json(records_);
+      first = false;
+    }
+    if (!serve_records_.empty()) {
+      out << (first ? "" : ",")
+          << "\"serve\":" << core::serve_records_json(serve_records_);
+      first = false;
+    }
+    if (!attack_records_.empty()) {
+      out << (first ? "" : ",")
+          << "\"attack\":" << core::attack_records_json(attack_records_);
+    }
+    out << "}\n";
     return out.good();
   }
 
@@ -142,7 +175,46 @@ class BenchSession {
   std::optional<Harness> harness_;
   std::vector<RunRecord> records_;
   std::vector<core::ServeRecord> serve_records_;
+  std::vector<core::AttackRecord> attack_records_;
 };
+
+/// FlagHandler for the attack benches' --attack-threads=N flag: number
+/// of crafting workers the adversarial engine fans attack units across
+/// (1 = serial; results are bitwise-identical either way).
+inline BenchSession::FlagHandler attack_threads_flag(int* threads) {
+  return [threads](const std::string& arg) {
+    if (arg.rfind("--attack-threads=", 0) != 0) return false;
+    *threads = std::atoi(arg.c_str() + 17);
+    if (*threads < 1) {
+      std::cerr << "error: --attack-threads must be >= 1\n";
+      std::exit(2);
+    }
+    return true;
+  };
+}
+
+/// Fills the configuration + timing half of an AttackRecord shared by
+/// both sweep kinds; the caller sets the outcome tallies.
+inline core::AttackRecord attack_record_base(
+    const std::string& framework, const std::string& setting,
+    const std::string& dataset, const std::string& attack,
+    const std::string& device, const adversarial::CraftTiming& timing) {
+  core::AttackRecord rec;
+  rec.framework = framework;
+  rec.setting = setting;
+  rec.dataset = dataset;
+  rec.attack = attack;
+  rec.device = device;
+  rec.threads = timing.threads;
+  rec.screening_s = timing.screening_s;
+  rec.craft_wall_s = timing.craft_wall_s;
+  rec.craft_mean_s = timing.craft_time.mean_s();
+  rec.craft_p50_s = timing.craft_time.percentile(50.0);
+  rec.craft_p95_s = timing.craft_time.percentile(95.0);
+  rec.craft_p99_s = timing.craft_time.percentile(99.0);
+  rec.craft_max_s = timing.craft_time.max_s();
+  return rec;
+}
 
 /// Prints measured rows next to the published rows and simple shape
 /// checks (who is fastest / most accurate), for one device class.

@@ -21,4 +21,4 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDLBENCH_SANITIZE="$SANITIZERS"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck|serve|kernels' --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck|serve|kernels|attack' --output-on-failure -j "$(nproc)"

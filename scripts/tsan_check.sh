@@ -23,5 +23,5 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDLBENCH_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'serve|trace|fault|kernels' --output-on-failure \
+ctest --test-dir "$BUILD_DIR" -L 'serve|trace|fault|kernels|attack' --output-on-failure \
   -j "$(nproc)"

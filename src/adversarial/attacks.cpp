@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "adversarial/engine.hpp"
+#include "nn/frozen.hpp"
 #include "runtime/stopwatch.hpp"
 #include "tensor/ops.hpp"
 #include "util/error.hpp"
@@ -150,12 +152,25 @@ AttackOutcome jsma_attack(Sequential& model, const Tensor& x,
 
   Tensor adv = x.clone();
   const std::int64_t d = adv.numel();
-  const std::int64_t classes = 10;
   const int max_iterations = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(options.max_distortion *
                                    static_cast<double>(d)));
 
-  outcome.source_class = predict_one(model, adv, eval);
+  // The Jacobian spans the model's logits; a caller-provided class
+  // count (e.g. the dataset's) must agree with what the model emits —
+  // a silent mismatch would read garbage rows or truncate the
+  // "other-class mass" term of the saliency map.
+  Tensor logits = model.forward(adv, eval);
+  const std::int64_t logit_width = logits.dim(logits.shape().rank() - 1);
+  const std::int64_t classes =
+      options.classes > 0 ? options.classes : logit_width;
+  DLB_CHECK(classes == logit_width,
+            "JsmaOptions.classes=" << classes << " but the model emits "
+                                   << logit_width << " logits");
+  DLB_CHECK(target >= 0 && target < classes,
+            "JSMA target " << target << " out of range [0, " << classes
+                           << ")");
+  outcome.source_class = tensor::argmax_row(logits, 0);
   if (outcome.source_class == target) {
     // Already the target class; trivially successful, zero distortion.
     outcome.success = true;
@@ -206,31 +221,67 @@ AttackOutcome jsma_attack(Sequential& model, const Tensor& x,
   return outcome;
 }
 
-UntargetedSweep fgsm_sweep(Sequential& model, const data::Dataset& data,
+UntargetedSweep fgsm_sweep(const Sequential& model, const data::Dataset& data,
                            const FgsmOptions& options, const Context& ctx,
-                           std::int64_t max_per_class) {
+                           std::int64_t max_per_class, int threads) {
   DLB_CHECK(data.num_classes == 10, "sweeps assume 10 classes");
   UntargetedSweep sweep;
-  std::array<std::int64_t, 10> successes{};
-  runtime::Stopwatch clock;
 
+  // Phase 1 — screening (victim selection), timed separately from
+  // crafting: attack only samples the model classifies correctly, as
+  // in the paper (success rate measures crafting, not model error).
+  // A frozen view keeps the caller's model untouched and is
+  // bitwise-identical to eval-mode forward.
+  runtime::Stopwatch screen_clock;
+  const nn::FrozenModel frozen = nn::FrozenModel::freeze(model);
+  struct Unit {
+    std::int64_t sample;
+    std::int64_t label;
+  };
+  std::vector<Unit> units;
   for (std::int64_t i = 0; i < data.size(); ++i) {
-    const auto cls = static_cast<std::size_t>(
-        data.labels[static_cast<std::size_t>(i)]);
+    const std::int64_t label = data.labels[static_cast<std::size_t>(i)];
+    const auto cls = static_cast<std::size_t>(label);
     if (sweep.attempts[cls] >= max_per_class) continue;
     Tensor x = data.sample(i);
-    // Attack only samples the model classifies correctly, as in the
-    // paper (success rate measures crafting, not model error).
-    if (predict_one(model, x, ctx) !=
-        data.labels[static_cast<std::size_t>(i)])
-      continue;
+    if (frozen.predict(x, ctx.device)[0] != label) continue;
     ++sweep.attempts[cls];
-    AttackOutcome outcome = fgsm_attack(
-        model, x, data.labels[static_cast<std::size_t>(i)], options, ctx);
-    if (outcome.success) {
+    units.push_back({i, label});
+  }
+  sweep.total_attacks = static_cast<std::int64_t>(units.size());
+  const double screening_s = screen_clock.seconds();
+
+  // Phase 2 — crafting, fanned across the engine. Each unit writes
+  // only its own slot; tallies are reduced in unit-index order below,
+  // so the tables are bitwise-identical at any thread count.
+  struct Slot {
+    bool success = false;
+    std::int64_t final_class = -1;
+    int iterations = 0;
+  };
+  std::vector<Slot> slots(units.size());
+  CraftTiming craft = craft_units(
+      model, ctx, static_cast<std::int64_t>(units.size()), threads,
+      [&](Sequential& replica, const Context& unit_ctx, std::int64_t u) {
+        const auto i = static_cast<std::size_t>(u);
+        Tensor x = data.sample(units[i].sample);
+        AttackOutcome out =
+            fgsm_attack(replica, x, units[i].label, options, unit_ctx);
+        slots[i] = {out.success, out.final_class, out.iterations};
+        return out.craft_time_s;
+      });
+  craft.screening_s = screening_s;
+  sweep.timing = std::move(craft);
+
+  std::array<std::int64_t, 10> successes{};
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const auto cls = static_cast<std::size_t>(units[u].label);
+    sweep.total_iterations += slots[u].iterations;
+    if (slots[u].success) {
       ++successes[cls];
+      ++sweep.total_successes;
       ++sweep.destination_counts[cls]
-            [static_cast<std::size_t>(outcome.final_class)];
+            [static_cast<std::size_t>(slots[u].final_class)];
     }
   }
   for (std::size_t c = 0; c < 10; ++c)
@@ -239,20 +290,22 @@ UntargetedSweep fgsm_sweep(Sequential& model, const data::Dataset& data,
             ? 0.0
             : static_cast<double>(successes[c]) /
                   static_cast<double>(sweep.attempts[c]);
-  sweep.total_time_s = clock.seconds();
   return sweep;
 }
 
-TargetedSweep jsma_sweep(Sequential& model, const data::Dataset& data,
+TargetedSweep jsma_sweep(const Sequential& model, const data::Dataset& data,
                          std::int64_t source_class, const JsmaOptions& options,
-                         const Context& ctx,
-                         std::int64_t samples_per_target) {
+                         const Context& ctx, std::int64_t samples_per_target,
+                         int threads) {
   DLB_CHECK(data.num_classes == 10, "sweeps assume 10 classes");
   TargetedSweep sweep;
-  std::array<std::int64_t, 10> successes{};
-  double total_time = 0.0;
+  JsmaOptions unit_options = options;
+  if (unit_options.classes == 0) unit_options.classes = data.num_classes;
 
-  // Collect correctly-classified source samples once.
+  // Phase 1 — screening: collect correctly-classified source samples
+  // once (frozen view; timed separately from crafting).
+  runtime::Stopwatch screen_clock;
+  const nn::FrozenModel frozen = nn::FrozenModel::freeze(model);
   std::vector<std::int64_t> sources;
   for (std::int64_t i = 0; i < data.size() &&
                            static_cast<std::int64_t>(sources.size()) <
@@ -260,18 +313,50 @@ TargetedSweep jsma_sweep(Sequential& model, const data::Dataset& data,
        ++i) {
     if (data.labels[static_cast<std::size_t>(i)] != source_class) continue;
     Tensor x = data.sample(i);
-    if (predict_one(model, x, ctx) == source_class) sources.push_back(i);
+    if (frozen.predict(x, ctx.device)[0] == source_class) sources.push_back(i);
   }
+  const double screening_s = screen_clock.seconds();
 
+  // Phase 2 — crafting. Unit order preserves the serial sweep's
+  // enumeration: targets ascending, sources inside each target.
+  struct Unit {
+    std::int64_t target;
+    std::int64_t sample;
+  };
+  std::vector<Unit> units;
+  units.reserve(static_cast<std::size_t>(9) * sources.size());
   for (std::int64_t target = 0; target < 10; ++target) {
     if (target == source_class) continue;
-    for (std::int64_t idx : sources) {
-      Tensor x = data.sample(idx);
-      AttackOutcome outcome = jsma_attack(model, x, target, options, ctx);
-      ++sweep.attempts[static_cast<std::size_t>(target)];
-      ++sweep.total_attacks;
-      total_time += outcome.craft_time_s;
-      if (outcome.success) ++successes[static_cast<std::size_t>(target)];
+    for (std::int64_t idx : sources) units.push_back({target, idx});
+  }
+
+  struct Slot {
+    bool success = false;
+    int iterations = 0;
+  };
+  std::vector<Slot> slots(units.size());
+  CraftTiming craft = craft_units(
+      model, ctx, static_cast<std::int64_t>(units.size()), threads,
+      [&](Sequential& replica, const Context& unit_ctx, std::int64_t u) {
+        const auto i = static_cast<std::size_t>(u);
+        Tensor x = data.sample(units[i].sample);
+        AttackOutcome out =
+            jsma_attack(replica, x, units[i].target, unit_options, unit_ctx);
+        slots[i] = {out.success, out.iterations};
+        return out.craft_time_s;
+      });
+  craft.screening_s = screening_s;
+  sweep.timing = std::move(craft);
+
+  std::array<std::int64_t, 10> successes{};
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const auto t = static_cast<std::size_t>(units[u].target);
+    ++sweep.attempts[t];
+    ++sweep.total_attacks;
+    sweep.total_iterations += slots[u].iterations;
+    if (slots[u].success) {
+      ++successes[t];
+      ++sweep.total_successes;
     }
   }
   for (std::size_t t = 0; t < 10; ++t)
@@ -280,8 +365,10 @@ TargetedSweep jsma_sweep(Sequential& model, const data::Dataset& data,
             ? 0.0
             : static_cast<double>(successes[t]) /
                   static_cast<double>(sweep.attempts[t]);
+  // Exact: the histogram keeps an integer nanosecond sum, so the mean
+  // does not drift with merge order.
   sweep.mean_craft_time_s =
-      sweep.total_attacks == 0 ? 0.0 : total_time / sweep.total_attacks;
+      sweep.total_attacks == 0 ? 0.0 : sweep.timing.craft_time.mean_s();
   return sweep;
 }
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "adversarial/engine.hpp"
 #include "data/dataset.hpp"
 #include "nn/sequential.hpp"
 
@@ -73,6 +74,10 @@ struct JsmaOptions {
   float theta = 0.5f;
   /// Stop after perturbing this fraction of input features.
   double max_distortion = 0.12;
+  /// Number of classes the Jacobian spans. 0 derives it from the
+  /// model's logit width; a nonzero value is validated against it
+  /// (sweeps set this from the dataset's num_classes).
+  std::int64_t classes = 0;
 };
 
 /// Targeted JSMA: perturbs `x` until the model classifies it as
@@ -87,6 +92,15 @@ Tensor logit_jacobian(Sequential& model, const Tensor& x,
                       std::int64_t classes, const Context& ctx);
 
 // ---- sweeps over a dataset ----
+//
+// Both sweeps run in two phases. Screening (serial, timed as
+// timing.screening_s) selects the victims with a frozen inference view
+// of the model — bitwise-identical to eval-mode forward, and it leaves
+// the model untouched. Crafting fans the selected attack units across
+// `threads` workers via the crafting engine (engine.hpp), each with
+// its own deep-copied model replica; per-unit outcomes are reduced in
+// unit-index order afterwards, so every tally below is
+// bitwise-identical at any thread count.
 
 /// Fig 8: per-source-digit untargeted success rates and the matrix of
 /// destination classes adversarial examples fall into.
@@ -94,11 +108,18 @@ struct UntargetedSweep {
   std::array<double, 10> success_rate{};             // per source class
   std::array<std::array<std::int64_t, 10>, 10> destination_counts{};
   std::array<std::int64_t, 10> attempts{};
-  double total_time_s = 0.0;
+  std::int64_t total_attacks = 0;
+  std::int64_t total_successes = 0;
+  /// Sum of per-attack gradient iterations (deterministic work proxy).
+  std::int64_t total_iterations = 0;
+  /// Screening vs crafting wall clock + per-attack craft-time
+  /// distribution. Screening predictions used to be folded into the
+  /// sweep's total time, inflating the paper's crafting-time metric.
+  CraftTiming timing;
 };
-UntargetedSweep fgsm_sweep(Sequential& model, const data::Dataset& data,
+UntargetedSweep fgsm_sweep(const Sequential& model, const data::Dataset& data,
                            const FgsmOptions& options, const Context& ctx,
-                           std::int64_t max_per_class);
+                           std::int64_t max_per_class, int threads = 1);
 
 /// Fig 9 / Tables VIII–IX: success rate of crafting `source_class`
 /// into every other class, plus mean crafting time.
@@ -107,9 +128,14 @@ struct TargetedSweep {
   std::array<std::int64_t, 10> attempts{};
   double mean_craft_time_s = 0.0;
   std::int64_t total_attacks = 0;
+  std::int64_t total_successes = 0;
+  /// Sum of per-attack perturbation iterations.
+  std::int64_t total_iterations = 0;
+  CraftTiming timing;
 };
-TargetedSweep jsma_sweep(Sequential& model, const data::Dataset& data,
+TargetedSweep jsma_sweep(const Sequential& model, const data::Dataset& data,
                          std::int64_t source_class, const JsmaOptions& options,
-                         const Context& ctx, std::int64_t samples_per_target);
+                         const Context& ctx, std::int64_t samples_per_target,
+                         int threads = 1);
 
 }  // namespace dlbench::adversarial

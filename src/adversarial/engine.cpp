@@ -1,0 +1,104 @@
+#include "adversarial/engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "runtime/stopwatch.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/trace.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::adversarial {
+
+namespace {
+
+using runtime::trace::Span;
+
+/// One worker's share of a sweep: clone the model once, then walk the
+/// strided unit set. The replica clone happens *inside* the worker task
+/// so replicas materialize concurrently and on the thread that uses
+/// them.
+void run_worker(const nn::Sequential& model, const nn::Context& ctx,
+                std::int64_t unit_count, std::int64_t worker,
+                std::int64_t stride,
+                const std::function<double(nn::Sequential&, const nn::Context&,
+                                           std::int64_t)>& attack,
+                runtime::LatencyHistogram& craft_time) {
+  nn::Sequential replica;
+  {
+    Span span("attack/replicate", "attack");
+    replica = model.clone();
+  }
+  for (std::int64_t unit = worker; unit < unit_count; unit += stride) {
+    Span span("attack/unit", "attack");
+    const double craft_s = attack(replica, ctx, unit);
+    craft_time.record_s(craft_s);
+    runtime::trace::counter_add("attack.units", 1);
+  }
+}
+
+}  // namespace
+
+CraftTiming craft_units(
+    const nn::Sequential& model, const nn::Context& ctx,
+    std::int64_t unit_count, int threads,
+    const std::function<double(nn::Sequential& replica, const nn::Context& ctx,
+                               std::int64_t unit)>& attack) {
+  DLB_CHECK(unit_count >= 0, "negative unit count");
+  CraftTiming timing;
+  const std::int64_t n_workers = std::max<std::int64_t>(
+      1, std::min<std::int64_t>(threads, std::max<std::int64_t>(1, unit_count)));
+  timing.threads = static_cast<int>(n_workers);
+  if (unit_count == 0) return timing;
+
+  // Units run with a serial device regardless of what the caller's
+  // context says: see the determinism contract in engine.hpp.
+  nn::Context unit_ctx = ctx;
+  unit_ctx.device = runtime::Device::cpu();
+  unit_ctx.training = false;
+
+  runtime::Stopwatch clock;
+  std::vector<runtime::LatencyHistogram> histograms(
+      static_cast<std::size_t>(n_workers));
+
+  if (n_workers == 1) {
+    run_worker(model, unit_ctx, unit_count, 0, 1, attack, histograms[0]);
+  } else {
+    // Completion latch, mirroring ThreadPool::parallel_for_ranges: the
+    // counter is decremented under the lock so the waiter cannot
+    // observe zero and destroy the mutex while a worker still holds it.
+    std::exception_ptr first_error;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    std::int64_t remaining = n_workers;
+    runtime::ThreadPool& pool = runtime::global_pool();
+    for (std::int64_t w = 0; w < n_workers; ++w) {
+      pool.submit([&, w] {
+        std::exception_ptr error;
+        try {
+          run_worker(model, unit_ctx, unit_count, w, n_workers, attack,
+                     histograms[static_cast<std::size_t>(w)]);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(done_mu);
+        if (error && !first_error) first_error = error;
+        if (--remaining == 0) done_cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  timing.craft_wall_s = clock.seconds();
+  // Worker-index order; exact bucket-wise sums make the result
+  // order-independent anyway.
+  for (const auto& h : histograms) timing.craft_time.merge(h);
+  return timing;
+}
+
+}  // namespace dlbench::adversarial

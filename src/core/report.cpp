@@ -289,6 +289,78 @@ bool write_serve_records_json(const std::string& path,
   return out.good();
 }
 
+util::Table attack_table(const std::string& title,
+                         const std::vector<AttackRecord>& records) {
+  util::Table table({"Framework", "Attack", "Thr", "Attacks", "Success",
+                     "Screen (s)", "Craft wall (s)", "mean (ms)", "p50 (ms)",
+                     "p95 (ms)", "p99 (ms)"});
+  table.set_title(title);
+  for (const auto& r : records) {
+    table.add_row({r.framework, r.attack, std::to_string(r.threads),
+                   std::to_string(r.attacks),
+                   util::format_fixed(r.success_rate, 3),
+                   util::format_seconds(r.screening_s),
+                   util::format_seconds(r.craft_wall_s),
+                   util::format_fixed(r.craft_mean_s * 1e3, 3),
+                   util::format_fixed(r.craft_p50_s * 1e3, 3),
+                   util::format_fixed(r.craft_p95_s * 1e3, 3),
+                   util::format_fixed(r.craft_p99_s * 1e3, 3)});
+  }
+  return table;
+}
+
+std::string summarize(const AttackRecord& r) {
+  std::ostringstream os;
+  os << r.framework << " " << r.attack << " [threads=" << r.threads << "] on "
+     << r.dataset << " (" << r.device << "): " << r.successes << "/"
+     << r.attacks << " (" << util::format_fixed(100.0 * r.success_rate, 1)
+     << "%), craft wall " << util::format_seconds(r.craft_wall_s)
+     << "s (screening " << util::format_seconds(r.screening_s) << "s), p50 "
+     << util::format_fixed(r.craft_p50_s * 1e3, 3) << "ms, p99 "
+     << util::format_fixed(r.craft_p99_s * 1e3, 3) << "ms";
+  return os.str();
+}
+
+std::string attack_record_json(const AttackRecord& r) {
+  std::ostringstream os;
+  os << "{\"framework\":" << quoted(r.framework)
+     << ",\"setting\":" << quoted(r.setting)
+     << ",\"dataset\":" << quoted(r.dataset)
+     << ",\"attack\":" << quoted(r.attack)
+     << ",\"device\":" << quoted(r.device) << ",\"threads\":" << r.threads
+     << ",\"attacks\":" << r.attacks << ",\"successes\":" << r.successes
+     << ",\"success_rate\":" << num(r.success_rate)
+     << ",\"total_iterations\":" << r.total_iterations
+     << ",\"screening_s\":" << num(r.screening_s)
+     << ",\"craft\":{\"wall_s\":" << num(r.craft_wall_s)
+     << ",\"mean_s\":" << num(r.craft_mean_s)
+     << ",\"p50_s\":" << num(r.craft_p50_s)
+     << ",\"p95_s\":" << num(r.craft_p95_s)
+     << ",\"p99_s\":" << num(r.craft_p99_s)
+     << ",\"max_s\":" << num(r.craft_max_s) << "}}";
+  return os.str();
+}
+
+std::string attack_records_json(const std::vector<AttackRecord>& records) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    os << (i ? ",\n " : "\n ") << attack_record_json(records[i]);
+  os << "\n]\n";
+  return os.str();
+}
+
+bool write_attack_records_json(const std::string& path,
+                               const std::vector<AttackRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << attack_records_json(records);
+  return out.good();
+}
+
 util::Table comparison_table(const std::string& title,
                              const std::vector<PaperComparison>& rows) {
   util::Table table({"Quantity", "Paper", "Measured", "Unit"});

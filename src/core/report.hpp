@@ -83,6 +83,51 @@ struct ServeRecord {
 util::Table serve_table(const std::string& title,
                         const std::vector<ServeRecord>& records);
 
+/// One adversarial-sweep cell: which model was attacked, with what,
+/// and the crafting outcome — success rate plus the crafting-time
+/// distribution the paper's Table VIII reports. Plain data on purpose,
+/// like ServeRecord: core does not depend on src/adversarial; the
+/// attack benches fill this from UntargetedSweep/TargetedSweep.
+struct AttackRecord {
+  // Configuration.
+  std::string framework;  // framework whose trained model was attacked
+  std::string setting;    // training setting label (e.g. "TF MNIST")
+  std::string dataset;
+  std::string attack;     // "fgsm" / "jsma"
+  std::string device;
+  int threads = 0;        // crafting workers the sweep ran with
+  // Outcome.
+  std::int64_t attacks = 0;          // attack units crafted
+  std::int64_t successes = 0;
+  double success_rate = 0.0;         // successes / attacks
+  std::int64_t total_iterations = 0; // summed gradient/perturb steps
+  // Timing, screening and crafting separated (see adversarial/engine).
+  double screening_s = 0.0;
+  double craft_wall_s = 0.0;
+  double craft_mean_s = 0.0;
+  double craft_p50_s = 0.0;
+  double craft_p95_s = 0.0;
+  double craft_p99_s = 0.0;
+  double craft_max_s = 0.0;
+};
+
+/// Attack analogue of serve_table: Framework / Attack / Threads /
+/// Attacks / Success / wall / mean / p50 / p95 / p99.
+util::Table attack_table(const std::string& title,
+                         const std::vector<AttackRecord>& records);
+
+/// One-line summary of an attack cell for log output.
+std::string summarize(const AttackRecord& record);
+
+/// One attack cell as a JSON object / all cells as a JSON array.
+std::string attack_record_json(const AttackRecord& record);
+std::string attack_records_json(const std::vector<AttackRecord>& records);
+
+/// Writes attack_records_json to `path`; warns and returns false on
+/// filesystem errors, like write_records_json.
+bool write_attack_records_json(const std::string& path,
+                               const std::vector<AttackRecord>& records);
+
 /// One-line summary of a serving cell for log output.
 std::string summarize(const ServeRecord& record);
 

@@ -139,4 +139,13 @@ Tensor Conv2dDirect::backward(const Tensor& dy, const Context& ctx) {
   return dx;
 }
 
+LayerPtr Conv2dDirect::clone() const {
+  util::Rng scratch(0);  // throwaway init, overwritten below
+  auto copy = std::make_unique<Conv2dDirect>(
+      geom_, tensor::InitKind::kXavierUniform, scratch);
+  copy->weight_ = weight_.clone();
+  copy->bias_ = bias_.clone();
+  return copy;
+}
+
 }  // namespace dlbench::nn

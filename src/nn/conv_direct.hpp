@@ -23,6 +23,7 @@ class Conv2dDirect final : public Layer {
   Conv2dDirect(tensor::ConvGeom geom, tensor::InitKind init, util::Rng& rng);
 
   std::string describe() const override;
+  LayerPtr clone() const override;
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }

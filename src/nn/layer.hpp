@@ -27,6 +27,9 @@ struct Context {
   util::Rng* rng = nullptr;  // required when training with Dropout
 };
 
+class Layer;
+using LayerPtr = std::unique_ptr<Layer>;
+
 /// A single differentiable transformation y = f(x; params).
 class Layer {
  public:
@@ -34,6 +37,15 @@ class Layer {
 
   /// Human-readable kind, e.g. "conv5x5 1->32".
   virtual std::string describe() const = 0;
+
+  /// Deep, independent copy: parameters are cloned buffers (never
+  /// aliased), gradients start zeroed, and forward caches are NOT
+  /// carried over — a clone is a fresh layer with the same weights.
+  /// This is what lets the adversarial crafting engine hand every
+  /// worker thread its own trainable replica of one model (a frozen
+  /// inference view is not enough there: attacks differentiate through
+  /// the layer caches).
+  virtual LayerPtr clone() const = 0;
 
   /// Computes y from x; caches activations needed by backward().
   virtual Tensor forward(const Tensor& x, const Context& ctx) = 0;
@@ -59,7 +71,5 @@ class Layer {
     return n;
   }
 };
-
-using LayerPtr = std::unique_ptr<Layer>;
 
 }  // namespace dlbench::nn

@@ -346,4 +346,53 @@ Tensor Flatten::backward(const Tensor& dy, const Context&) {
   return dy.reshape(input_shape_);
 }
 
+// ---- clone ----
+//
+// Parameterized layers rebuild through their own constructor (throwaway
+// init, immediately overwritten) and then deep-copy the weights; the
+// ctor already gives them zeroed gradient buffers and empty caches,
+// which is exactly the "fresh layer, same weights" contract.
+
+namespace {
+util::Rng& clone_init_rng() {
+  // Scratch stream for the overwritten init; never observable.
+  thread_local util::Rng rng(0);
+  return rng;
+}
+}  // namespace
+
+LayerPtr Conv2d::clone() const {
+  auto copy = std::make_unique<Conv2d>(geom_, tensor::InitKind::kXavierUniform,
+                                       clone_init_rng());
+  copy->weight_ = weight_.clone();
+  copy->bias_ = bias_.clone();
+  return copy;
+}
+
+LayerPtr Linear::clone() const {
+  auto copy = std::make_unique<Linear>(
+      in_, out_, tensor::InitKind::kXavierUniform, clone_init_rng());
+  copy->weight_ = weight_.clone();
+  copy->bias_ = bias_.clone();
+  return copy;
+}
+
+LayerPtr LinearReLU::clone() const {
+  auto copy = std::make_unique<LinearReLU>(
+      in_, out_, tensor::InitKind::kXavierUniform, clone_init_rng());
+  copy->weight_ = weight_.clone();
+  copy->bias_ = bias_.clone();
+  return copy;
+}
+
+LayerPtr MaxPool2d::clone() const { return std::make_unique<MaxPool2d>(geom_); }
+
+LayerPtr AvgPool2d::clone() const { return std::make_unique<AvgPool2d>(geom_); }
+
+LayerPtr Dropout::clone() const { return std::make_unique<Dropout>(p_); }
+
+LayerPtr LocalResponseNorm::clone() const {
+  return std::make_unique<LocalResponseNorm>(radius_, k_, alpha_, beta_);
+}
+
 }  // namespace dlbench::nn

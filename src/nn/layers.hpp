@@ -7,6 +7,7 @@
 // Flatten to bridge conv and fc stages.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@ class Conv2d final : public Layer {
   Conv2d(tensor::ConvGeom geom, tensor::InitKind init, util::Rng& rng);
 
   std::string describe() const override;
+  LayerPtr clone() const override;
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
@@ -45,6 +47,7 @@ class Linear final : public Layer {
          tensor::InitKind init, util::Rng& rng);
 
   std::string describe() const override;
+  LayerPtr clone() const override;
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
@@ -74,6 +77,7 @@ class LinearReLU final : public Layer {
              tensor::InitKind init, util::Rng& rng);
 
   std::string describe() const override;
+  LayerPtr clone() const override;
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
@@ -96,6 +100,7 @@ class MaxPool2d final : public Layer {
   explicit MaxPool2d(tensor::PoolGeom geom) : geom_(geom) {}
 
   std::string describe() const override;
+  LayerPtr clone() const override;
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
 
@@ -112,6 +117,7 @@ class AvgPool2d final : public Layer {
   explicit AvgPool2d(tensor::PoolGeom geom) : geom_(geom) {}
 
   std::string describe() const override;
+  LayerPtr clone() const override;
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
 
@@ -125,6 +131,7 @@ class AvgPool2d final : public Layer {
 class ReLU final : public Layer {
  public:
   std::string describe() const override { return "ReLU"; }
+  LayerPtr clone() const override { return std::make_unique<ReLU>(); }
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
 
@@ -136,6 +143,7 @@ class ReLU final : public Layer {
 class Tanh final : public Layer {
  public:
   std::string describe() const override { return "Tanh"; }
+  LayerPtr clone() const override { return std::make_unique<Tanh>(); }
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
 
@@ -150,6 +158,7 @@ class Dropout final : public Layer {
   explicit Dropout(float drop_probability);
 
   std::string describe() const override;
+  LayerPtr clone() const override;
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
 
@@ -169,6 +178,7 @@ class LocalResponseNorm final : public Layer {
                     float alpha = 0.001f / 9.0f, float beta = 0.75f);
 
   std::string describe() const override;
+  LayerPtr clone() const override;
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
 
@@ -187,6 +197,7 @@ class LocalResponseNorm final : public Layer {
 class Flatten final : public Layer {
  public:
   std::string describe() const override { return "Flatten"; }
+  LayerPtr clone() const override { return std::make_unique<Flatten>(); }
   Tensor forward(const Tensor& x, const Context& ctx) override;
   Tensor backward(const Tensor& dy, const Context& ctx) override;
 

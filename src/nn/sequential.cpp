@@ -27,6 +27,13 @@ void Sequential::add(LayerPtr layer) {
   layers_.push_back(std::move(layer));
 }
 
+Sequential Sequential::clone() const {
+  std::vector<LayerPtr> copies;
+  copies.reserve(layers_.size());
+  for (const auto& layer : layers_) copies.push_back(layer->clone());
+  return Sequential(std::move(copies));
+}
+
 void Sequential::ensure_trace_labels() {
   if (fwd_labels_.size() == layers_.size()) return;
   fwd_labels_.clear();

@@ -34,6 +34,15 @@ class Sequential {
   Layer& layer(std::size_t i) { return *layers_.at(i); }
   const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
+  /// Deep, independent replica: every layer is clone()d, so the copy
+  /// shares no parameter buffers, gradient buffers, or activation
+  /// caches with this model. Forward/backward on the replica is
+  /// bitwise-identical to the original (same weights, same kernels)
+  /// but safe to run on another thread — the adversarial crafting
+  /// engine builds one replica per worker this way, mirroring the
+  /// FrozenModel replica pattern from serve/ for mutable models.
+  Sequential clone() const;
+
   /// Plain forward pass, logits out.
   Tensor forward(const Tensor& x, const Context& ctx);
 

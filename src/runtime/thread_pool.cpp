@@ -42,6 +42,14 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline pool: no worker will ever drain the queue, so enqueueing
+    // here would strand the task forever. Run it on the caller, which
+    // is the documented execution mode of a <=1-thread pool.
+    trace::counter_add("pool.tasks", 1);
+    task();
+    return;
+  }
   std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -43,9 +43,14 @@ class ThreadPool {
       std::size_t count,
       const std::function<void(std::size_t begin, std::size_t end)>& fn);
 
+  /// Enqueues one task for the workers. On an inline pool (no workers)
+  /// the task runs immediately on the calling thread — there is nobody
+  /// else to run it, and parking it in the queue would leak it (or
+  /// deadlock a caller waiting on its completion).
+  void submit(std::function<void()> task);
+
  private:
   void worker_loop();
-  void submit(std::function<void()> task);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -1,5 +1,6 @@
 #include "serve/loadgen.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <future>
@@ -116,7 +117,7 @@ ClientTally run_open(ModelServer& server,
     const auto& input = inputs[rng.uniform_index(inputs.size())];
     ++tally.issued;
     futures.push_back(server.submit(input));
-    const double gap_s = -std::log(1.0 - rng.uniform()) / options.offered_rps;
+    const double gap_s = poisson_gap_s(rng, options.offered_rps);
     next += std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(gap_s));
   }
@@ -126,6 +127,20 @@ ClientTally run_open(ModelServer& server,
 }
 
 }  // namespace
+
+double poisson_gap_s(double u, double rate_rps) {
+  DLB_CHECK(rate_rps > 0.0, "Poisson rate must be positive");
+  // Clamp u strictly below 1: -log(1-u) diverges there. Our xoshiro
+  // uniform() is [0, 1), but the sampler must stay safe for any
+  // conforming uniform source (std ones may return 1.0 exactly).
+  constexpr double kMaxU = 1.0 - 1e-12;
+  u = std::min(std::max(u, 0.0), kMaxU);
+  return -std::log(1.0 - u) / rate_rps;
+}
+
+double poisson_gap_s(util::Rng& rng, double rate_rps) {
+  return poisson_gap_s(rng.uniform(), rate_rps);
+}
 
 const char* to_string(LoadGenOptions::Mode mode) {
   switch (mode) {

@@ -25,6 +25,7 @@
 #include "runtime/histogram.hpp"
 #include "serve/server.hpp"
 #include "tensor/tensor.hpp"
+#include "util/rng.hpp"
 
 namespace dlbench::serve {
 
@@ -45,6 +46,16 @@ struct LoadGenOptions {
 };
 
 const char* to_string(LoadGenOptions::Mode mode);
+
+/// Exponential inter-arrival gap (seconds) for a Poisson process at
+/// `rate_rps`, from a uniform draw `u` in [0, 1]. Inverse-CDF
+/// -log(1-u)/rate, with u clamped away from 1 so the gap stays finite —
+/// at u == 1.0 the raw formula is -log(0) = +inf, which would stall the
+/// open-loop dispatcher forever on one unlucky draw.
+double poisson_gap_s(double u, double rate_rps);
+
+/// Same, drawing u from `rng` (the open-loop dispatcher's form).
+double poisson_gap_s(util::Rng& rng, double rate_rps);
 
 /// Client-side view of one run (server-side counters live in
 /// ServerStats; the two are reported together by bench_serve).

@@ -227,7 +227,10 @@ TEST(Sweeps, FgsmSweepBookkeeping) {
     for (std::size_t t = 0; t < 10; ++t) dest_total += sweep.destination_counts[c][t];
     EXPECT_LE(dest_total, sweep.attempts[c]);
   }
-  EXPECT_GT(sweep.total_time_s, 0.0);
+  // Screening and crafting are timed separately now; both phases ran.
+  EXPECT_GT(sweep.timing.screening_s, 0.0);
+  EXPECT_GT(sweep.timing.craft_wall_s, 0.0);
+  EXPECT_EQ(sweep.timing.craft_time.count(), sweep.total_attacks);
 }
 
 TEST(Sweeps, JsmaSweepBookkeeping) {

@@ -1,0 +1,214 @@
+// Parallel crafting engine: the determinism contract (parallel sweeps
+// bitwise-identical to serial at any thread count), replica
+// independence of Sequential::clone, and engine bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "adversarial/attacks.hpp"
+#include "adversarial/engine.hpp"
+#include "data/synthetic.hpp"
+#include "frameworks/emulations.hpp"
+#include "frameworks/registry.hpp"
+#include "nn/layers.hpp"
+#include "runtime/device.hpp"
+#include "tensor/ops.hpp"
+#include "util/error.hpp"
+
+namespace dlbench::adversarial {
+namespace {
+
+using frameworks::DatasetId;
+using frameworks::FrameworkKind;
+using runtime::Device;
+
+Context gpu_ctx() {
+  Context ctx;
+  ctx.device = Device::gpu();  // engine must force serial inside units
+  ctx.training = false;
+  return ctx;
+}
+
+// One small trained model shared by every test here (trained once).
+struct TrainedFixture {
+  data::DatasetPair mnist;
+  nn::Sequential model;
+
+  TrainedFixture() {
+    data::MnistOptions d;
+    d.train_samples = 400;
+    d.test_samples = 120;
+    mnist = data::synthetic_mnist(d);
+    auto fw = frameworks::make_framework(FrameworkKind::kCaffe);
+    auto config = frameworks::default_training_config(FrameworkKind::kCaffe,
+                                                      DatasetId::kMnist);
+    auto spec = frameworks::default_network_spec(FrameworkKind::kCaffe,
+                                                 DatasetId::kMnist);
+    util::Rng rng(7);
+    model = fw->build_model(spec, Device::gpu(), rng);
+    frameworks::TrainOptions opts;
+    opts.scale.max_step_cap = 60;
+    (void)fw->train(model, mnist.train, config, Device::gpu(), opts);
+  }
+};
+
+TrainedFixture& fixture() {
+  static TrainedFixture fx;
+  return fx;
+}
+
+TEST(SequentialClone, ReplicaMatchesOriginalBitwise) {
+  auto& fx = fixture();
+  nn::Sequential replica = fx.model.clone();
+  Context ctx = gpu_ctx();
+  ctx.device = Device::cpu();
+  tensor::Tensor x = fx.mnist.test.sample(0);
+  tensor::Tensor a = fx.model.forward(x, ctx);
+  tensor::Tensor b = replica.forward(x, ctx);
+  ASSERT_EQ(a.numel(), b.numel());
+  EXPECT_EQ(std::memcmp(a.raw(), b.raw(),
+                        static_cast<std::size_t>(a.numel()) * sizeof(float)),
+            0);
+}
+
+TEST(SequentialClone, ReplicaWeightsAreIndependentStorage) {
+  auto& fx = fixture();
+  nn::Sequential replica = fx.model.clone();
+  Context ctx = gpu_ctx();
+  ctx.device = Device::cpu();
+  tensor::Tensor x = fx.mnist.test.sample(0);
+  tensor::Tensor before = fx.model.forward(x, ctx).clone();
+
+  // Corrupt every replica parameter; the original must not notice.
+  for (auto* param : replica.params())
+    for (std::int64_t i = 0; i < param->numel(); ++i)
+      param->raw()[i] += 1.f;
+  tensor::Tensor after = fx.model.forward(x, ctx);
+  EXPECT_EQ(std::memcmp(before.raw(), after.raw(),
+                        static_cast<std::size_t>(before.numel()) *
+                            sizeof(float)),
+            0);
+}
+
+TEST(CraftUnits, CoversEveryUnitOnceAndCountsThem) {
+  auto& fx = fixture();
+  const std::int64_t units = 23;
+  std::vector<int> hits(static_cast<std::size_t>(units), 0);
+  CraftTiming t = craft_units(
+      fx.model, gpu_ctx(), units, /*threads=*/4,
+      [&](nn::Sequential&, const Context& ctx, std::int64_t u) {
+        // The engine must hand units a serial device (determinism +
+        // no pool re-entrancy) and an eval-mode context.
+        EXPECT_FALSE(ctx.device.is_parallel());
+        EXPECT_FALSE(ctx.training);
+        ++hits[static_cast<std::size_t>(u)];  // one writer per slot
+        return 1e-4;
+      });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(t.craft_time.count(), units);
+  EXPECT_GE(t.craft_wall_s, 0.0);
+  EXPECT_EQ(t.screening_s, 0.0);  // screening belongs to the caller
+}
+
+TEST(CraftUnits, PropagatesUnitException) {
+  auto& fx = fixture();
+  EXPECT_THROW(
+      craft_units(fx.model, gpu_ctx(), 8, /*threads=*/2,
+                  [&](nn::Sequential&, const Context&, std::int64_t u) {
+                    if (u == 5) throw dlbench::Error("unit boom");
+                    return 1e-4;
+                  }),
+      dlbench::Error);
+}
+
+// The contract the whole subsystem hangs on: sweeps at any thread
+// count produce bitwise-identical tables. Compare full FGSM sweeps at
+// 1, 2 and 8 threads field by field with exact equality.
+TEST(Determinism, FgsmSweepIsBitwiseIdenticalAcrossThreadCounts) {
+  auto& fx = fixture();
+  FgsmOptions opt;
+  opt.epsilon = 0.05f;
+  opt.max_iterations = 10;
+  const UntargetedSweep serial =
+      fgsm_sweep(fx.model, fx.mnist.test, opt, gpu_ctx(),
+                 /*max_per_class=*/3, /*threads=*/1);
+  ASSERT_GT(serial.total_attacks, 0);
+  for (int threads : {2, 8}) {
+    const UntargetedSweep par =
+        fgsm_sweep(fx.model, fx.mnist.test, opt, gpu_ctx(),
+                   /*max_per_class=*/3, threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(par.total_attacks, serial.total_attacks);
+    EXPECT_EQ(par.total_successes, serial.total_successes);
+    EXPECT_EQ(par.total_iterations, serial.total_iterations);
+    for (int c = 0; c < 10; ++c) {
+      EXPECT_EQ(par.attempts[c], serial.attempts[c]);
+      // Bitwise: rates are ratios of identical integers.
+      EXPECT_EQ(std::memcmp(&par.success_rate[c], &serial.success_rate[c],
+                            sizeof(double)),
+                0);
+      for (int t = 0; t < 10; ++t)
+        EXPECT_EQ(par.destination_counts[c][t],
+                  serial.destination_counts[c][t]);
+    }
+    EXPECT_EQ(par.timing.craft_time.count(),
+              serial.timing.craft_time.count());
+  }
+}
+
+TEST(Determinism, JsmaSweepIsBitwiseIdenticalAcrossThreadCounts) {
+  auto& fx = fixture();
+  JsmaOptions opt;
+  opt.theta = 1.0f;
+  opt.max_distortion = 0.03;  // keep the test fast
+  const TargetedSweep serial =
+      jsma_sweep(fx.model, fx.mnist.test, /*source=*/1, opt, gpu_ctx(),
+                 /*samples_per_target=*/2, /*threads=*/1);
+  ASSERT_GT(serial.total_attacks, 0);
+  for (int threads : {2, 8}) {
+    const TargetedSweep par =
+        jsma_sweep(fx.model, fx.mnist.test, /*source=*/1, opt, gpu_ctx(),
+                   /*samples_per_target=*/2, threads);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(par.total_attacks, serial.total_attacks);
+    EXPECT_EQ(par.total_successes, serial.total_successes);
+    EXPECT_EQ(par.total_iterations, serial.total_iterations);
+    for (int t = 0; t < 10; ++t) {
+      EXPECT_EQ(par.attempts[t], serial.attempts[t]);
+      EXPECT_EQ(std::memcmp(&par.success_rate[t], &serial.success_rate[t],
+                            sizeof(double)),
+                0);
+    }
+    EXPECT_EQ(par.timing.craft_time.count(),
+              serial.timing.craft_time.count());
+    EXPECT_EQ(par.timing.threads, threads);
+  }
+}
+
+// Crafting with more threads than units must clamp, not spawn idle
+// replicas (each replica deep-copies all weights).
+TEST(CraftUnits, ClampsWorkersToUnitCount) {
+  auto& fx = fixture();
+  CraftTiming t = craft_units(
+      fx.model, gpu_ctx(), /*unit_count=*/2, /*threads=*/16,
+      [&](nn::Sequential&, const Context&, std::int64_t) { return 1e-4; });
+  EXPECT_LE(t.threads, 2);
+  EXPECT_EQ(t.craft_time.count(), 2);
+}
+
+TEST(CraftUnits, ZeroUnitsIsANoop) {
+  auto& fx = fixture();
+  CraftTiming t = craft_units(
+      fx.model, gpu_ctx(), 0, 4,
+      [&](nn::Sequential&, const Context&, std::int64_t) {
+        ADD_FAILURE() << "no units should run";
+        return 0.0;
+      });
+  EXPECT_EQ(t.craft_time.count(), 0);
+}
+
+}  // namespace
+}  // namespace dlbench::adversarial

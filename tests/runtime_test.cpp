@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -63,6 +66,31 @@ TEST(ThreadPool, ReusableAfterException) {
   std::atomic<int> count{0};
   pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, SubmitRunsOnWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&] {
+      if (count.fetch_add(1) + 1 == 8) cv.notify_one();
+    });
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return count.load() == 8; }));
+}
+
+// Regression: an inline pool (size 1, no worker threads) used to
+// enqueue submitted tasks onto a queue nothing ever drained — the task
+// was silently stranded forever. It must execute on the caller.
+TEST(ThreadPool, SubmitOnInlinePoolRunsImmediately) {
+  ThreadPool pool(1);
+  ASSERT_EQ(pool.size(), 1u);
+  int ran = 0;
+  pool.submit([&] { ++ran; });
+  EXPECT_EQ(ran, 1);  // no wait: it must have run synchronously
 }
 
 TEST(ThreadPool, ManySmallDispatchesAreStable) {

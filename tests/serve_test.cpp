@@ -438,4 +438,41 @@ TEST(LoadGen, OpenLoopIssuesAtOfferedRate) {
   EXPECT_EQ(result.latency.count(), result.ok);
 }
 
+TEST(LoadGen, PoissonGapMatchesInverseCdf) {
+  using dlbench::serve::poisson_gap_s;
+  // Interior draws follow -log(1-u)/rate exactly.
+  EXPECT_DOUBLE_EQ(poisson_gap_s(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(poisson_gap_s(0.5, 100.0), -std::log(0.5) / 100.0);
+  EXPECT_DOUBLE_EQ(poisson_gap_s(0.9, 10.0), -std::log(1.0 - 0.9) / 10.0);
+}
+
+// Regression: u == 1.0 made the raw inverse-CDF emit -log(0) = +inf,
+// an inter-arrival gap the open-loop dispatcher would sleep on until
+// the end of time. The sampler must clamp to a finite gap.
+TEST(LoadGen, PoissonGapIsFiniteAtUniformOne) {
+  using dlbench::serve::poisson_gap_s;
+  const double gap = poisson_gap_s(1.0, 100.0);
+  EXPECT_TRUE(std::isfinite(gap));
+  EXPECT_GT(gap, 0.0);
+  // Out-of-range draws clamp rather than produce NaN.
+  EXPECT_TRUE(std::isfinite(poisson_gap_s(2.0, 100.0)));
+  EXPECT_DOUBLE_EQ(poisson_gap_s(-0.5, 100.0), 0.0);
+  EXPECT_THROW(poisson_gap_s(0.5, 0.0), dlbench::Error);
+}
+
+TEST(LoadGen, PoissonGapRngOverloadStaysFinite) {
+  using dlbench::serve::poisson_gap_s;
+  dlbench::util::Rng rng(123);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double gap = poisson_gap_s(rng, 1000.0);
+    ASSERT_TRUE(std::isfinite(gap));
+    ASSERT_GE(gap, 0.0);
+    sum += gap;
+  }
+  // Mean gap ~= 1/rate = 1ms; loose sanity band.
+  EXPECT_GT(sum / 10000.0, 0.0005);
+  EXPECT_LT(sum / 10000.0, 0.002);
+}
+
 }  // namespace
