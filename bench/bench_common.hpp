@@ -109,6 +109,18 @@ class BenchSession {
     return attack_records_;
   }
 
+  /// Chaos-gauntlet variant; lands in the same --json-out (as a
+  /// "chaos" array when other record kinds are present).
+  const core::ChaosRecord& add(core::ChaosRecord record) {
+    chaos_records_.push_back(std::move(record));
+    std::cout << core::summarize(chaos_records_.back()) << "\n";
+    return chaos_records_.back();
+  }
+
+  const std::vector<core::ChaosRecord>& chaos_records() const {
+    return chaos_records_;
+  }
+
   /// Writes --json-out and closes the trace scope (writing --trace-out).
   /// Idempotent; also runs from the destructor.
   void flush() {
@@ -132,12 +144,15 @@ class BenchSession {
   bool write_json(const std::string& path) const {
     const int kinds = (serve_records_.empty() ? 0 : 1) +
                       (attack_records_.empty() ? 0 : 1) +
+                      (chaos_records_.empty() ? 0 : 1) +
                       (records_.empty() ? 0 : 1);
     if (kinds <= 1) {
       if (!serve_records_.empty())
         return core::write_serve_records_json(path, serve_records_);
       if (!attack_records_.empty())
         return core::write_attack_records_json(path, attack_records_);
+      if (!chaos_records_.empty())
+        return core::write_chaos_records_json(path, chaos_records_);
       return core::write_records_json(path, records_);
     }
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -159,6 +174,11 @@ class BenchSession {
     if (!attack_records_.empty()) {
       out << (first ? "" : ",")
           << "\"attack\":" << core::attack_records_json(attack_records_);
+      first = false;
+    }
+    if (!chaos_records_.empty()) {
+      out << (first ? "" : ",")
+          << "\"chaos\":" << core::chaos_records_json(chaos_records_);
     }
     out << "}\n";
     return out.good();
@@ -176,6 +196,7 @@ class BenchSession {
   std::vector<RunRecord> records_;
   std::vector<core::ServeRecord> serve_records_;
   std::vector<core::AttackRecord> attack_records_;
+  std::vector<core::ChaosRecord> chaos_records_;
 };
 
 /// FlagHandler for the attack benches' --attack-threads=N flag: number

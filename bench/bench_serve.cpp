@@ -23,12 +23,14 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
 #include "frameworks/predictor.hpp"
+#include "runtime/fault.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
@@ -107,6 +109,16 @@ ServeRecord run_cell(FrameworkKind framework, DatasetId dataset,
 
 int main(int argc, char** argv) {
   using dlbench::bench::BenchSession;
+  namespace fault = dlbench::runtime::fault;
+  // Arm env-requested serve faults (DLB_CHAOS_*, DESIGN.md §13) for the
+  // whole sweep, mirroring the Harness idiom for DLB_FAULT_*: e.g.
+  //   DLB_CHAOS_ERROR_RATE=0.2 ./bench_serve --quick
+  // measures every cell under a 20% transient-error burn.
+  std::optional<fault::FaultScope> chaos_scope;
+  {
+    fault::FaultPlan plan = fault::FaultPlan::from_env();
+    if (!fault::enabled() && plan.active()) chaos_scope.emplace(plan);
+  }
   double duration_s = 0.4;
   BenchSession session(
       argc, argv, "bench_serve",

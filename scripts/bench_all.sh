@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# One-shot performance snapshot across every subsystem, written as
+# BENCH_<pr>.json so the repo carries a perf trajectory (ROADMAP 5a)
+# instead of scattered one-off numbers. Four headline metrics plus the
+# chaos gauntlet's supervised-recovery cell:
+#
+#   gemm_gflops      packed SIMD GEMM @ 384^3 (bench_micro_tensor)
+#   train_step_ms    mean optimizer step, TF-default MNIST net on CPU
+#                    (bench_fig1_mnist_baseline, step-capped)
+#   serve_p99_ms     best serving-cell p99 (bench_serve --quick)
+#   craft_p95_ms     best adversarial craft p95 (bench_fig8, FGSM)
+#   gauntlet         supervised crash cell: goodput, p99 inflation,
+#                    recovery window (bench_gauntlet --quick)
+#
+# Training/attack cells are step-capped (DLB_STEP_CAP, default 40) so a
+# snapshot takes minutes, not hours; per-step and per-attack times are
+# scale-free, and the cap used is recorded in the JSON. Override:
+#   DLB_STEP_CAP=0 scripts/bench_all.sh     # full-length training cells
+#
+# Usage: scripts/bench_all.sh [out.json] [build-dir]
+#        (defaults: BENCH_6.json, build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_6.json}"
+BUILD_DIR="${2:-build}"
+export DLB_STEP_CAP="${DLB_STEP_CAP:-40}"
+
+for bin in bench_micro_tensor bench_fig1_mnist_baseline bench_serve \
+           bench_fig8_fgsm_untargeted bench_gauntlet; do
+  if [ ! -x "$BUILD_DIR/bench/$bin" ]; then
+    echo "bench_all: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 2
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "=== bench_all: GEMM micro ==="
+"$BUILD_DIR/bench/bench_micro_tensor" \
+  --benchmark_filter='BM_GemmPacked/384' \
+  --benchmark_min_time=0.15 \
+  --benchmark_format=json >"$TMP/gemm.json"
+
+echo "=== bench_all: training baseline (step cap $DLB_STEP_CAP) ==="
+"$BUILD_DIR/bench/bench_fig1_mnist_baseline" --json-out="$TMP/train.json"
+
+echo "=== bench_all: serving ==="
+"$BUILD_DIR/bench/bench_serve" --quick --json-out="$TMP/serve.json"
+
+echo "=== bench_all: adversarial crafting (step cap $DLB_STEP_CAP) ==="
+"$BUILD_DIR/bench/bench_fig8_fgsm_untargeted" --json-out="$TMP/craft.json"
+
+echo "=== bench_all: chaos gauntlet ==="
+"$BUILD_DIR/bench/bench_gauntlet" --quick --json-out="$TMP/chaos.json"
+
+python3 - "$TMP" "$OUT" <<'PY'
+import datetime
+import json
+import os
+import sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+
+
+def load(name, kind=None):
+    """Record list from a --json-out file: bare array when the bench
+    emitted one record kind, keyed object ("runs"/"serve"/...) when
+    mixed."""
+    with open(os.path.join(tmp, name)) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict) and kind is not None:
+        return doc[kind]
+    return doc
+
+
+gemm = next(b for b in load("gemm.json")["benchmarks"]
+            if b.get("run_type") != "aggregate")
+
+# Mean optimizer-step time of the TF-default MNIST net on CPU — the
+# first fig1 cell; per-step time is independent of the step cap.
+train = next(r for r in load("train.json", "runs")
+             if r["device"] == "CPU" and not r["error"])
+step_ms = 1e3 * train["train"]["train_time_s"] / train["train"]["steps"]
+
+serve = load("serve.json", "serve")
+serve_p99_ms = 1e3 * min(r["latency"]["p99_s"] for r in serve)
+
+craft = load("craft.json", "attack")
+craft_p95_ms = 1e3 * min(r["craft"]["p95_s"] for r in craft)
+
+chaos = load("chaos.json", "chaos")
+crash_sup = next(r for r in chaos
+                 if r["scenario"] == "crash" and r["supervised"])
+
+snapshot = {
+    "snapshot": os.path.splitext(os.path.basename(out))[0],
+    "date": datetime.date.today().isoformat(),
+    "step_cap": int(os.environ.get("DLB_STEP_CAP", "0")),
+    "gemm_gflops": round(gemm["GFLOPs"], 2),
+    "train_step_ms": round(step_ms, 3),
+    "serve_p99_ms": round(serve_p99_ms, 3),
+    "craft_p95_ms": round(craft_p95_ms, 3),
+    "gauntlet": {
+        "goodput_rps": round(crash_sup["goodput_rps"], 1),
+        "offered_rps": round(crash_sup["offered_rps"], 1),
+        "p99_inflation": (None
+                          if crash_sup["degradation"]["p99_inflation"] is None
+                          else round(
+                              crash_sup["degradation"]["p99_inflation"], 2)),
+        "recovery_s": crash_sup["degradation"]["recovery_s"],
+        "crashes": crash_sup["events"]["crashes"],
+        "restarts": crash_sup["events"]["restarts"],
+    },
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"\nbench_all snapshot -> {out}")
+print(json.dumps(snapshot, indent=2))
+PY

@@ -6,7 +6,10 @@
 # packed-GEMM / conv micro-kernel suites (label `kernels` — packing
 # scratch buffers, edge-tile padding, wide-tile stores), and the
 # inference-serving tests (label `serve`), whose batcher moves tensors
-# across threads. For data races specifically, see tsan_check.sh.
+# across threads, and the serving chaos suite (label `chaos` — injected
+# replica crashes, stalls and retries exercise the supervisor's
+# requeue/restart lifetimes). For data races specifically, see
+# tsan_check.sh.
 #
 # Usage: scripts/sanitize_check.sh [build-dir]   (default: build-asan)
 # Equivalent preset: cmake --preset sanitize && cmake --build --preset sanitize
@@ -21,4 +24,4 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDLBENCH_SANITIZE="$SANITIZERS"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck|serve|kernels|attack' --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck|serve|kernels|attack|chaos' --output-on-failure -j "$(nproc)"

@@ -4,11 +4,14 @@
 # `serve` — MPMC queue, dynamic batcher, replica threads, histogram
 # merges), the tracing tests (label `trace` — thread-local event buffers
 # under an atomic scope pointer), the fault-injection tests (label
-# `fault`), and the kernel suites (label `kernels` — the packed GEMM
+# `fault`), the kernel suites (label `kernels` — the packed GEMM
 # macro loop splits row panels across pool workers and its determinism
-# tests run the same shapes under several thread counts). ASan/UBSan (sanitize_check.sh) cannot see data races; this
-# is the suite that would have caught a misordered stats commit or an
-# unlocked histogram.
+# tests run the same shapes under several thread counts), and the
+# serving chaos suite (label `chaos` — crash requeues, stall
+# abandonment, hedged first-wins claims and retry heaps are exactly the
+# cross-thread hand-offs TSan exists for). ASan/UBSan
+# (sanitize_check.sh) cannot see data races; this is the suite that
+# would have caught a misordered stats commit or an unlocked histogram.
 #
 # Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
 # Equivalent preset: cmake --preset tsan && cmake --build --preset tsan
@@ -23,5 +26,5 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDLBENCH_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'serve|trace|fault|kernels|attack' --output-on-failure \
+ctest --test-dir "$BUILD_DIR" -L 'serve|trace|fault|kernels|attack|chaos' --output-on-failure \
   -j "$(nproc)"

@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -11,8 +12,12 @@ namespace dlbench::core {
 
 namespace {
 
-// Shortest round-trippable representation; always a valid JSON number.
+// Shortest round-trippable representation; always valid JSON. JSON has
+// no NaN/Infinity literals, and the histogram's empty sentinel is NaN
+// (see runtime/histogram.hpp) — non-finite values emit null so a
+// fully-shed window never produces an unparsable or garbage p99.
 std::string num(double v) {
+  if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
@@ -286,6 +291,114 @@ bool write_serve_records_json(const std::string& path,
     return false;
   }
   out << serve_records_json(records);
+  return out.good();
+}
+
+namespace {
+
+// "3.2x" inflation / "never" recovery cells tolerant of NaN windows.
+std::string ratio_cell(double v) {
+  if (!std::isfinite(v)) return "n/a";
+  return util::format_fixed(v, 2) + "x";
+}
+
+std::string recovery_cell(double v) {
+  if (v < 0.0 || !std::isfinite(v)) return "never";
+  return util::format_fixed(v, 2) + "s";
+}
+
+// Millisecond cell tolerant of the empty-histogram NaN sentinel.
+std::string ms_cell(double seconds) {
+  if (!std::isfinite(seconds)) return "n/a";
+  return ms(seconds);
+}
+
+}  // namespace
+
+util::Table chaos_table(const std::string& title,
+                        const std::vector<ChaosRecord>& records) {
+  util::Table table({"Scenario", "Sup", "Offered (r/s)", "Goodput (r/s)",
+                     "p99 base (ms)", "p99 fault (ms)", "Inflation",
+                     "Recovery", "Crash/Restart", "Retry", "Shed"});
+  table.set_title(title);
+  for (const auto& r : records) {
+    table.add_row(
+        {r.scenario, r.supervised ? "yes" : "no",
+         util::format_fixed(r.offered_rps, 0),
+         util::format_fixed(r.goodput_rps, 0), ms_cell(r.baseline_p99_s),
+         ms_cell(r.faulted_p99_s), ratio_cell(r.p99_inflation),
+         recovery_cell(r.recovery_s),
+         std::to_string(r.crashes) + "/" + std::to_string(r.restarts),
+         std::to_string(r.retries),
+         std::to_string(r.expired + r.shed + r.rejected)});
+  }
+  return table;
+}
+
+std::string summarize(const ChaosRecord& r) {
+  std::ostringstream os;
+  os << r.framework << " gauntlet [" << r.scenario
+     << (r.supervised ? ", supervised" : ", unsupervised")
+     << ", replicas=" << r.replicas << "] on " << r.dataset << " ("
+     << r.device << "): goodput " << util::format_fixed(r.goodput_rps, 0)
+     << "/" << util::format_fixed(r.offered_rps, 0) << " r/s, p99 "
+     << ms_cell(r.baseline_p99_s) << "ms -> " << ms_cell(r.faulted_p99_s)
+     << "ms (" << ratio_cell(r.p99_inflation) << "), recovery "
+     << recovery_cell(r.recovery_s) << ", crashes " << r.crashes << "/"
+     << r.restarts << " restarted, retries " << r.retries << ", expired "
+     << r.expired << ", shed " << r.shed;
+  return os.str();
+}
+
+std::string chaos_record_json(const ChaosRecord& r) {
+  std::ostringstream os;
+  os << "{\"framework\":" << quoted(r.framework)
+     << ",\"dataset\":" << quoted(r.dataset)
+     << ",\"device\":" << quoted(r.device)
+     << ",\"scenario\":" << quoted(r.scenario)
+     << ",\"supervised\":" << boolean(r.supervised)
+     << ",\"replicas\":" << r.replicas << ",\"max_batch\":" << r.max_batch
+     << ",\"offered_rps\":" << num(r.offered_rps)
+     << ",\"duration_s\":" << num(r.duration_s) << ",\"seed\":" << r.seed
+     << ",\"issued\":" << r.issued << ",\"ok\":" << r.ok
+     << ",\"rejected\":" << r.rejected << ",\"expired\":" << r.expired
+     << ",\"errors\":" << r.errors << ",\"shed\":" << r.shed
+     << ",\"goodput_rps\":" << num(r.goodput_rps)
+     << ",\"latency\":{\"p50_s\":" << num(r.latency_p50_s)
+     << ",\"p99_s\":" << num(r.latency_p99_s)
+     << ",\"max_s\":" << num(r.latency_max_s) << "}"
+     << ",\"degradation\":{\"baseline_p99_s\":" << num(r.baseline_p99_s)
+     << ",\"faulted_p99_s\":" << num(r.faulted_p99_s)
+     << ",\"p99_inflation\":" << num(r.p99_inflation)
+     << ",\"recovery_s\":" << num(r.recovery_s) << "}"
+     << ",\"events\":{\"crashes\":" << r.crashes
+     << ",\"restarts\":" << r.restarts
+     << ",\"stalls_replaced\":" << r.stalls_replaced
+     << ",\"retries\":" << r.retries << ",\"hedges\":" << r.hedges
+     << ",\"hedge_wins\":" << r.hedge_wins
+     << ",\"corrupted\":" << r.corrupted
+     << ",\"breaker_opens\":" << r.breaker_opens
+     << ",\"breaker_closes\":" << r.breaker_closes << "}}";
+  return os.str();
+}
+
+std::string chaos_records_json(const std::vector<ChaosRecord>& records) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    os << (i ? ",\n " : "\n ") << chaos_record_json(records[i]);
+  os << "\n]\n";
+  return os.str();
+}
+
+bool write_chaos_records_json(const std::string& path,
+                              const std::vector<ChaosRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << chaos_records_json(records);
   return out.good();
 }
 

@@ -128,6 +128,73 @@ std::string attack_records_json(const std::vector<AttackRecord>& records);
 bool write_attack_records_json(const std::string& path,
                                const std::vector<AttackRecord>& records);
 
+/// One chaos-gauntlet cell: a serving run driven through a seeded fault
+/// schedule, reporting the robustness metric family (goodput, p99
+/// inflation, recovery window, fault/supervision event counts) the
+/// comparative studies never measure. Plain data like ServeRecord —
+/// core does not depend on src/serve; bench_gauntlet fills this from
+/// serve::LoadGenResult + serve::ServerStats. Event counts are
+/// deterministic given (seed, schedule): two runs with the same
+/// configuration must produce identical crashes/retries/shed counts
+/// (see DESIGN.md §13 determinism contract).
+struct ChaosRecord {
+  // Configuration.
+  std::string framework;
+  std::string dataset;
+  std::string device;
+  std::string scenario;  // fault-schedule label, e.g. "crash", "stall"
+  bool supervised = true;
+  int replicas = 0;
+  std::int64_t max_batch = 0;
+  double offered_rps = 0.0;
+  double duration_s = 0.0;
+  std::uint64_t seed = 0;
+  // Client-observed outcome.
+  std::int64_t issued = 0;
+  std::int64_t ok = 0;
+  std::int64_t rejected = 0;
+  std::int64_t expired = 0;   // deadline shed (client-visible timeouts)
+  std::int64_t errors = 0;    // forward errors surfaced after retries
+  std::int64_t shed = 0;      // breaker-shed low-priority requests
+  double goodput_rps = 0.0;   // ok responses / wall duration
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;
+  // Degradation metrics from windowed p99s (NaN-safe: all-shed windows
+  // carry the histogram sentinel and serialize as null).
+  double baseline_p99_s = 0.0;  // pre-fault window p99
+  double faulted_p99_s = 0.0;   // worst degraded-window p99
+  double p99_inflation = 0.0;   // faulted / baseline
+  double recovery_s = -1.0;     // degraded -> recovered window gap; -1 = never
+  // Fault/supervision event counts (deterministic per seed+schedule).
+  std::int64_t crashes = 0;
+  std::int64_t restarts = 0;
+  std::int64_t stalls_replaced = 0;
+  std::int64_t retries = 0;
+  std::int64_t hedges = 0;
+  std::int64_t hedge_wins = 0;
+  std::int64_t corrupted = 0;
+  std::int64_t breaker_opens = 0;
+  std::int64_t breaker_closes = 0;
+};
+
+/// Chaos analogue of serve_table: Scenario / Supervised / Offered /
+/// Goodput / base p99 / fault p99 / inflation / recovery / events.
+util::Table chaos_table(const std::string& title,
+                        const std::vector<ChaosRecord>& records);
+
+/// One-line summary of a chaos cell for log output.
+std::string summarize(const ChaosRecord& record);
+
+/// One chaos cell as a JSON object / all cells as a JSON array.
+std::string chaos_record_json(const ChaosRecord& record);
+std::string chaos_records_json(const std::vector<ChaosRecord>& records);
+
+/// Writes chaos_records_json to `path`; warns and returns false on
+/// filesystem errors, like write_records_json.
+bool write_chaos_records_json(const std::string& path,
+                              const std::vector<ChaosRecord>& records);
+
 /// One-line summary of a serving cell for log output.
 std::string summarize(const ServeRecord& record);
 

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <exception>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -170,6 +171,32 @@ void load_checkpoint(Sequential& model, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   DLB_CHECK(in.is_open(), "cannot open " << path << " for reading");
   load_checkpoint(model, in);
+}
+
+CheckpointSource load_checkpoint_with_fallback(Sequential& model,
+                                               const std::string& primary,
+                                               const std::string& fallback) {
+  runtime::trace::Span span("checkpoint.load_fallback", "io");
+  std::string primary_error;
+  try {
+    load_checkpoint(model, primary);
+    return CheckpointSource::kPrimary;
+  } catch (const std::exception& e) {
+    // Truncation mid-header, CRC mismatch, missing file — all land
+    // here; the v2 path validated before mutating, so the model is
+    // still whatever it was.
+    primary_error = e.what();
+  }
+  runtime::trace::counter_add("checkpoint.fallbacks", 1);
+  try {
+    load_checkpoint(model, fallback);
+  } catch (const std::exception& e) {
+    DLB_CHECK(false, "both checkpoints unusable: primary '"
+                         << primary << "' (" << primary_error
+                         << "); fallback '" << fallback << "' ("
+                         << e.what() << ")");
+  }
+  return CheckpointSource::kFallback;
 }
 
 }  // namespace dlbench::nn

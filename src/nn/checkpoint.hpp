@@ -30,4 +30,17 @@ void save_checkpoint(Sequential& model, const std::string& path);
 void load_checkpoint(Sequential& model, std::istream& in);
 void load_checkpoint(Sequential& model, const std::string& path);
 
+/// Which container load_checkpoint_with_fallback restored from.
+enum class CheckpointSource { kPrimary, kFallback };
+
+/// Loads `primary`, falling back to `fallback` when the primary is
+/// missing, truncated (even mid-header) or fails its CRC. Order
+/// matters: the primary is fully validated *before* any model mutation
+/// — v2 loads buffer and checksum the whole payload first — so a
+/// rejected primary leaves the model untouched for the fallback to
+/// fill. Throws only when both containers are unusable.
+CheckpointSource load_checkpoint_with_fallback(Sequential& model,
+                                               const std::string& primary,
+                                               const std::string& fallback);
+
 }  // namespace dlbench::nn

@@ -32,7 +32,14 @@ double env_f64(const char* name, double fallback) {
 
 bool FaultPlan::active() const {
   return grad_fault != GradFault::kNone || ckpt_flip_bytes > 0 ||
-         sample_drop_rate > 0.0 || stall_ms > 0;
+         sample_drop_rate > 0.0 || stall_ms > 0 || serve_active();
+}
+
+bool FaultPlan::serve_active() const {
+  return serve_crash_every > 0 ||
+         (serve_stall_every > 0 && serve_stall_ms > 0) ||
+         serve_error_rate > 0.0 || serve_corrupt_rate > 0.0 ||
+         serve_expire_rate > 0.0;
 }
 
 FaultPlan FaultPlan::from_env() {
@@ -55,6 +62,20 @@ FaultPlan FaultPlan::from_env() {
   plan.stall_scope = env_i64("DLB_FAULT_STALL_WORKER", 0) != 0
                          ? StallScope::kPoolWorker
                          : StallScope::kTrainStep;
+  plan.serve_crash_every =
+      env_i64("DLB_CHAOS_CRASH_EVERY", plan.serve_crash_every);
+  plan.serve_crash_max = env_i64("DLB_CHAOS_CRASH_MAX", plan.serve_crash_max);
+  plan.serve_stall_every =
+      env_i64("DLB_CHAOS_STALL_EVERY", plan.serve_stall_every);
+  plan.serve_stall_ms = env_i64("DLB_CHAOS_STALL_MS", plan.serve_stall_ms);
+  plan.serve_stall_max = env_i64("DLB_CHAOS_STALL_MAX", plan.serve_stall_max);
+  plan.serve_error_rate = env_f64("DLB_CHAOS_ERROR_RATE", plan.serve_error_rate);
+  plan.serve_error_attempts =
+      env_i64("DLB_CHAOS_ERROR_ATTEMPTS", plan.serve_error_attempts);
+  plan.serve_corrupt_rate =
+      env_f64("DLB_CHAOS_CORRUPT_RATE", plan.serve_corrupt_rate);
+  plan.serve_expire_rate =
+      env_f64("DLB_CHAOS_EXPIRE_RATE", plan.serve_expire_rate);
   plan.seed = static_cast<std::uint64_t>(
       env_i64("DLB_FAULT_SEED", static_cast<std::int64_t>(plan.seed)));
   return plan;
@@ -71,6 +92,10 @@ struct FaultScope::State {
   std::atomic<std::int64_t> grad_fires{0};
   std::atomic<bool> step_stall_fired{false};
   std::atomic<bool> worker_stall_fired{false};
+  // Serving-side global fire counters (enforce the crash/stall caps
+  // without taking mu on the batch hot path).
+  std::atomic<std::int64_t> serve_crash_fires{0};
+  std::atomic<std::int64_t> serve_stall_fires{0};
 };
 
 namespace {
@@ -89,16 +114,40 @@ FaultScope::State* active_state() {
   return g_active.load(std::memory_order_acquire);
 }
 
-// Sleeps for `ms`, polling the abort flag so a watchdog can cut the
-// stall short instead of letting it hang the suite.
-void abortable_sleep(std::int64_t ms) {
+// Sleeps for `ms`, polling the abort flag — and `cancel` when given —
+// so a watchdog or a shutting-down server can cut the stall short
+// instead of letting it hang the suite.
+void abortable_sleep(std::int64_t ms,
+                     const std::atomic<bool>* cancel = nullptr) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
   while (std::chrono::steady_clock::now() < deadline) {
     if (abort_requested()) return;
+    if (cancel && cancel->load(std::memory_order_acquire)) return;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
+
+// splitmix64 finalizer: the bijective mix behind every serve-fault
+// decision. Pure function of its input — no state, no ordering.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform [0, 1) draw keyed on (seed, tag, a, b): the decision for a
+// given ordinal is identical in every run and on every thread.
+double hash_uniform(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                    std::uint64_t b) {
+  const std::uint64_t h = mix64(mix64(mix64(seed ^ tag) ^ a) ^ b);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kTagError = 0x5e77e001;
+constexpr std::uint64_t kTagCorrupt = 0x5e77e002;
+constexpr std::uint64_t kTagExpire = 0x5e77e003;
 
 }  // namespace
 
@@ -199,6 +248,93 @@ void maybe_stall_worker() {
     ++s->stats.stalls;
   }
   abortable_sleep(s->plan.stall_ms);
+}
+
+bool serve_should_crash(int slot, std::int64_t batch_ordinal) {
+  State* s = active_state();
+  if (!s) return false;
+  const FaultPlan& plan = s->plan;
+  if (plan.serve_crash_every <= 0 || batch_ordinal <= 0) return false;
+  if (batch_ordinal % plan.serve_crash_every != 0) return false;
+  if (plan.serve_crash_max > 0) {
+    // Claim a slot under the global cap; undo on overshoot so the cap
+    // is exact even under concurrent claims.
+    if (s->serve_crash_fires.fetch_add(1) >= plan.serve_crash_max) {
+      s->serve_crash_fires.fetch_sub(1);
+      return false;
+    }
+  } else {
+    s->serve_crash_fires.fetch_add(1);
+  }
+  std::lock_guard<std::mutex> lock(s->mu);
+  ++s->stats.serve_crashes;
+  (void)slot;
+  return true;
+}
+
+bool serve_maybe_stall(int slot, std::int64_t batch_ordinal,
+                       const std::atomic<bool>* cancel) {
+  State* s = active_state();
+  if (!s) return false;
+  const FaultPlan& plan = s->plan;
+  if (plan.serve_stall_every <= 0 || plan.serve_stall_ms <= 0 ||
+      batch_ordinal <= 0)
+    return false;
+  if (batch_ordinal % plan.serve_stall_every != 0) return false;
+  if (plan.serve_stall_max > 0) {
+    if (s->serve_stall_fires.fetch_add(1) >= plan.serve_stall_max) {
+      s->serve_stall_fires.fetch_sub(1);
+      return false;
+    }
+  } else {
+    s->serve_stall_fires.fetch_add(1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    ++s->stats.serve_stalls;
+  }
+  (void)slot;
+  abortable_sleep(plan.serve_stall_ms, cancel);
+  return true;
+}
+
+bool serve_forward_error(std::int64_t request_id, std::int64_t attempt) {
+  State* s = active_state();
+  if (!s) return false;
+  const FaultPlan& plan = s->plan;
+  if (plan.serve_error_rate <= 0.0 || attempt >= plan.serve_error_attempts)
+    return false;
+  if (hash_uniform(plan.seed, kTagError,
+                   static_cast<std::uint64_t>(request_id),
+                   0) >= plan.serve_error_rate)
+    return false;
+  std::lock_guard<std::mutex> lock(s->mu);
+  ++s->stats.serve_errors;
+  return true;
+}
+
+bool serve_corrupt_response(std::int64_t request_id) {
+  State* s = active_state();
+  if (!s || s->plan.serve_corrupt_rate <= 0.0) return false;
+  if (hash_uniform(s->plan.seed, kTagCorrupt,
+                   static_cast<std::uint64_t>(request_id),
+                   0) >= s->plan.serve_corrupt_rate)
+    return false;
+  std::lock_guard<std::mutex> lock(s->mu);
+  ++s->stats.serve_corruptions;
+  return true;
+}
+
+bool serve_expire_request(std::int64_t request_id) {
+  State* s = active_state();
+  if (!s || s->plan.serve_expire_rate <= 0.0) return false;
+  if (hash_uniform(s->plan.seed, kTagExpire,
+                   static_cast<std::uint64_t>(request_id),
+                   0) >= s->plan.serve_expire_rate)
+    return false;
+  std::lock_guard<std::mutex> lock(s->mu);
+  ++s->stats.serve_expirations;
+  return true;
 }
 
 void request_abort() { g_abort.store(true, std::memory_order_release); }

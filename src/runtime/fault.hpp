@@ -18,6 +18,7 @@
 // and that injected stalls poll every millisecond, which is enough to
 // guarantee a stalled cell unwinds instead of hanging a bench suite.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -64,11 +65,46 @@ struct FaultPlan {
   std::int64_t stall_step = 0;
   StallScope stall_scope = StallScope::kTrainStep;
 
+  // -- serving faults (chaos gauntlet; see DESIGN.md §13) --
+  //
+  // Determinism contract: every serve-fault decision is a pure function
+  // of (seed, stable ordinal) — replica slot + per-incarnation batch
+  // ordinal for replica-level faults, request id (+ attempt) for
+  // request-level faults — never wall clock or thread interleaving.
+  // With a fixed request count, injected-event totals replay
+  // identically run-to-run even though batching and scheduling differ.
+
+  /// Replica slot crashes on every k-th batch it processes since its
+  /// last (re)start; 0 disables. Its in-flight batch is requeued.
+  std::int64_t serve_crash_every = 0;
+  /// Global cap on injected crashes across all slots (0 = unlimited).
+  std::int64_t serve_crash_max = 0;
+  /// Replica slot stalls for serve_stall_ms on every k-th batch; 0 off.
+  std::int64_t serve_stall_every = 0;
+  std::int64_t serve_stall_ms = 0;
+  /// Global cap on injected stalls (0 = unlimited).
+  std::int64_t serve_stall_max = 0;
+  /// Fraction of request ids marked for a transient forward error.
+  double serve_error_rate = 0.0;
+  /// Dispatch attempts (0-based) on which a marked request's forward
+  /// fails; with the default 1, attempt 0 fails and a retry succeeds,
+  /// so retry count == marked count exactly.
+  std::int64_t serve_error_attempts = 1;
+  /// Fraction of request ids whose response payload is corrupted
+  /// (detectable: probabilities scaled to sum > 1).
+  double serve_corrupt_rate = 0.0;
+  /// Fraction of request ids that arrive with an already-expired
+  /// deadline — deterministic deadline-shed load.
+  double serve_expire_rate = 0.0;
+
   /// Seed for the plan's private Rng stream.
   std::uint64_t seed = 0xfa017u;
 
   /// True if any fault is armed.
   bool active() const;
+
+  /// True if any serving-side fault is armed.
+  bool serve_active() const;
 
   /// Builds a plan from DLB_FAULT_* environment variables:
   ///   DLB_FAULT_NAN_STEP / DLB_FAULT_INF_STEP  step to corrupt grads
@@ -80,6 +116,16 @@ struct FaultPlan {
   ///   DLB_FAULT_STALL_STEP    step at which the stall fires (0)
   ///   DLB_FAULT_STALL_WORKER  1 = stall a pool worker instead
   ///   DLB_FAULT_SEED          fault Rng seed
+  /// and serving-side DLB_CHAOS_* variables:
+  ///   DLB_CHAOS_CRASH_EVERY     crash a replica every k-th batch (0)
+  ///   DLB_CHAOS_CRASH_MAX       global crash cap (0 = unlimited)
+  ///   DLB_CHAOS_STALL_EVERY     stall a replica every k-th batch (0)
+  ///   DLB_CHAOS_STALL_MS        serve stall duration (0)
+  ///   DLB_CHAOS_STALL_MAX       global stall cap (0 = unlimited)
+  ///   DLB_CHAOS_ERROR_RATE      fraction of requests marked to fail
+  ///   DLB_CHAOS_ERROR_ATTEMPTS  attempts on which marked fail (1)
+  ///   DLB_CHAOS_CORRUPT_RATE    fraction of responses corrupted
+  ///   DLB_CHAOS_EXPIRE_RATE     fraction arriving already expired
   static FaultPlan from_env();
 };
 
@@ -89,6 +135,13 @@ struct FaultStats {
   std::int64_t checkpoint_bytes_flipped = 0;
   std::int64_t samples_dropped = 0;
   std::int64_t stalls = 0;
+  // Serving-side deliveries (the gauntlet cross-checks these against
+  // the server's own event counters).
+  std::int64_t serve_crashes = 0;
+  std::int64_t serve_stalls = 0;
+  std::int64_t serve_errors = 0;
+  std::int64_t serve_corruptions = 0;
+  std::int64_t serve_expirations = 0;
 };
 
 /// RAII activation of a FaultPlan. At most one scope is active at a
@@ -136,6 +189,33 @@ void maybe_stall_step(std::int64_t step);
 /// Pool-worker stall: first task executed after scope activation sleeps
 /// stall_ms (abort-aware) when a kPoolWorker stall is armed.
 void maybe_stall_worker();
+
+// ---- serving-side injection points (called by serve::ModelServer) ----
+//
+// All decisions are pure functions of (plan seed, ordinals) via a
+// splitmix64-derived hash — see the determinism contract on FaultPlan.
+
+/// True when replica `slot` must crash after its `batch_ordinal`-th
+/// batch since (re)start (1-based). Respects the global crash cap.
+bool serve_should_crash(int slot, std::int64_t batch_ordinal);
+
+/// Stalls replica `slot` for serve_stall_ms when armed for this batch
+/// ordinal; the sleep polls both the global abort flag and `cancel` (a
+/// server shutdown flag, may be null) every millisecond. Returns true
+/// when a stall was delivered (even if cut short).
+bool serve_maybe_stall(int slot, std::int64_t batch_ordinal,
+                       const std::atomic<bool>* cancel);
+
+/// True when the forward pass for (request_id, attempt) must fail with
+/// a transient error. Attempt is 0-based; only attempts below the
+/// plan's serve_error_attempts are eligible.
+bool serve_forward_error(std::int64_t request_id, std::int64_t attempt);
+
+/// True when request_id's response payload must be corrupted.
+bool serve_corrupt_response(std::int64_t request_id);
+
+/// True when request_id arrives with an already-expired deadline.
+bool serve_expire_request(std::int64_t request_id);
 
 // ---- cooperative abort (set by Watchdog, polled by stalls/loops) ----
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 namespace dlbench::runtime {
@@ -81,20 +82,33 @@ void LatencyHistogram::reset() {
   count_ = min_ns_ = max_ns_ = sum_ns_ = 0;
 }
 
-double LatencyHistogram::min_s() const { return 1e-9 * static_cast<double>(min_ns_); }
-double LatencyHistogram::max_s() const { return 1e-9 * static_cast<double>(max_ns_); }
+namespace {
+// The one empty-histogram sentinel. Every statistic of a histogram with
+// no samples returns this — never 0, which is a legal latency.
+const double kEmptySentinel = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+double LatencyHistogram::min_s() const {
+  if (count_ == 0) return kEmptySentinel;
+  return 1e-9 * static_cast<double>(min_ns_);
+}
+
+double LatencyHistogram::max_s() const {
+  if (count_ == 0) return kEmptySentinel;
+  return 1e-9 * static_cast<double>(max_ns_);
+}
 
 double LatencyHistogram::total_s() const {
   return 1e-9 * static_cast<double>(sum_ns_);
 }
 
 double LatencyHistogram::mean_s() const {
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return kEmptySentinel;
   return total_s() / static_cast<double>(count_);
 }
 
 double LatencyHistogram::percentile(double p) const {
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return kEmptySentinel;
   if (p <= 0.0) return min_s();
   if (p >= 100.0) return max_s();
   const auto rank = std::max<std::int64_t>(

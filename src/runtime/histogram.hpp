@@ -55,6 +55,7 @@ class LatencyHistogram {
 
   std::int64_t count() const { return count_; }
   bool empty() const { return count_ == 0; }
+  /// Min/max/mean of an empty histogram are NaN (see percentile).
   double min_s() const;
   double max_s() const;
   double mean_s() const;
@@ -63,7 +64,12 @@ class LatencyHistogram {
   /// Value at percentile `p` in [0, 100], seconds, within
   /// kMaxRelativeError of the exact order statistic (rank
   /// ceil(p/100 * count)). p <= 0 returns the exact minimum, p >= 100
-  /// the exact maximum; an empty histogram returns 0.
+  /// the exact maximum. An empty histogram (including one built only
+  /// from empty merges) has no order statistics: every percentile —
+  /// and min/max/mean — returns quiet NaN, one sentinel on every path,
+  /// so a window where every request was shed can never masquerade as
+  /// a 0 ns p99. JSON writers must map non-finite values to null
+  /// (core::report does).
   double percentile(double p) const;
 
   /// "n=1234 mean=1.2ms p50=0.9ms p95=3.1ms p99=5.0ms p999=7.2ms

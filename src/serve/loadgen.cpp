@@ -31,17 +31,33 @@ struct ClientTally {
   std::int64_t ok = 0;
   std::int64_t rejected = 0;
   std::int64_t shutdown = 0;
+  std::int64_t expired = 0;
+  std::int64_t errors = 0;
+  std::int64_t shed = 0;
+  std::int64_t retried = 0;
+  std::int64_t hedged = 0;
+  std::int64_t corrupted = 0;
   std::int64_t batch_sum = 0;
   runtime::LatencyHistogram latency;
   runtime::LatencyHistogram queue_wait;
+  std::vector<LoadGenResult::Sample> samples;
 
-  void absorb(const Prediction& p) {
+  void absorb(const Prediction& p, double issue_offset_s,
+              bool record_sample) {
     switch (p.status) {
       case RequestStatus::kOk:
         ++ok;
         batch_sum += p.batch_size;
         latency.record_s(p.total_s);
         queue_wait.record_s(p.queue_wait_s);
+        if (p.attempts > 1) ++retried;
+        if (p.hedged) ++hedged;
+        // Integrity check: an uncorrupted softmax row sums to ~1.
+        if (!p.probabilities.empty()) {
+          double sum = 0.0;
+          for (const float v : p.probabilities) sum += v;
+          if (sum > 1.5 || sum < 0.5) ++corrupted;
+        }
         break;
       case RequestStatus::kRejected:
         ++rejected;
@@ -49,7 +65,18 @@ struct ClientTally {
       case RequestStatus::kShutdown:
         ++shutdown;
         break;
+      case RequestStatus::kExpired:
+        ++expired;
+        break;
+      case RequestStatus::kError:
+        ++errors;
+        break;
+      case RequestStatus::kShed:
+        ++shed;
+        break;
     }
+    if (record_sample)
+      samples.push_back({issue_offset_s, p.total_s, p.status});
   }
 
   void merge(const ClientTally& other) {
@@ -57,9 +84,16 @@ struct ClientTally {
     ok += other.ok;
     rejected += other.rejected;
     shutdown += other.shutdown;
+    expired += other.expired;
+    errors += other.errors;
+    shed += other.shed;
+    retried += other.retried;
+    hedged += other.hedged;
+    corrupted += other.corrupted;
     batch_sum += other.batch_sum;
     latency.merge(other.latency);
     queue_wait.merge(other.queue_wait);
+    samples.insert(samples.end(), other.samples.begin(), other.samples.end());
   }
 };
 
@@ -78,10 +112,19 @@ ClientTally run_closed(ModelServer& server,
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c, rng = seeder.fork()]() mutable {
       ClientTally& tally = tallies[static_cast<std::size_t>(c)];
+      SubmitOptions submit_options;
+      submit_options.deadline_s = options.deadline_s;
       while (Clock::now() < deadline) {
         const auto& input = inputs[rng.uniform_index(inputs.size())];
+        submit_options.priority =
+            options.low_priority_fraction > 0.0 &&
+                    rng.bernoulli(options.low_priority_fraction)
+                ? 0
+                : 1;
+        const double offset_s = seconds_since(start);
         ++tally.issued;
-        tally.absorb(server.predict(input));
+        tally.absorb(server.predict(input, submit_options), offset_s,
+                     options.record_samples);
       }
     });
   }
@@ -100,29 +143,47 @@ ClientTally run_open(ModelServer& server,
   util::Rng rng(options.seed);
   ClientTally tally;
   std::vector<std::future<Prediction>> futures;
+  std::vector<double> issue_offsets;
   futures.reserve(
-      static_cast<std::size_t>(options.offered_rps * options.duration_s) + 16);
+      options.max_requests > 0
+          ? static_cast<std::size_t>(options.max_requests)
+          : static_cast<std::size_t>(options.offered_rps *
+                                     options.duration_s) + 16);
 
   // Poisson process: exponential inter-arrival gaps at the offered
   // rate, dispatched on an absolute schedule (next += gap) so transient
   // stalls don't silently lower the offered load — the open-loop
-  // discipline is the whole point.
+  // discipline is the whole point. With max_requests set, the run is
+  // count-bound instead of time-bound (fixed request-id set ⇒
+  // deterministic fault decisions, see LoadGenOptions).
+  SubmitOptions submit_options;
+  submit_options.deadline_s = options.deadline_s;
   const auto start = Clock::now();
   const auto deadline =
       start + std::chrono::duration_cast<Clock::duration>(
                   std::chrono::duration<double>(options.duration_s));
   auto next = start;
-  while (next < deadline) {
+  while (options.max_requests > 0 ? tally.issued < options.max_requests
+                                  : next < deadline) {
     std::this_thread::sleep_until(next);
     const auto& input = inputs[rng.uniform_index(inputs.size())];
+    submit_options.priority =
+        options.low_priority_fraction > 0.0 &&
+                rng.bernoulli(options.low_priority_fraction)
+            ? 0
+            : 1;
     ++tally.issued;
-    futures.push_back(server.submit(input));
+    if (options.record_samples) issue_offsets.push_back(seconds_since(start));
+    futures.push_back(server.submit(input, submit_options));
     const double gap_s = poisson_gap_s(rng, options.offered_rps);
     next += std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(gap_s));
   }
   tally.dispatch_s = seconds_since(start);
-  for (auto& future : futures) tally.absorb(future.get());
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    tally.absorb(futures[i].get(),
+                 options.record_samples ? issue_offsets[i] : 0.0,
+                 options.record_samples);
   return tally;
 }
 
@@ -170,6 +231,13 @@ LoadGenResult run_load(ModelServer& server,
   result.ok = tally.ok;
   result.rejected = tally.rejected;
   result.shutdown = tally.shutdown;
+  result.expired = tally.expired;
+  result.errors = tally.errors;
+  result.shed = tally.shed;
+  result.retried = tally.retried;
+  result.hedged = tally.hedged;
+  result.corrupted = tally.corrupted;
+  result.samples = std::move(tally.samples);
   result.offered_rps = static_cast<double>(tally.issued) / tally.dispatch_s;
   result.achieved_rps = static_cast<double>(tally.ok) / wall_s;
   result.latency = tally.latency;

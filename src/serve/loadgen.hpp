@@ -43,6 +43,19 @@ struct LoadGenOptions {
   double duration_s = 0.5;
   /// Seed for arrival-gap sampling and input selection.
   std::uint64_t seed = 7;
+  /// Open loop only: issue exactly this many requests instead of
+  /// running for duration_s. A fixed request count fixes the request-id
+  /// set, which makes every id-keyed fault decision — and therefore the
+  /// gauntlet's injected-event totals — identical run-to-run.
+  std::int64_t max_requests = 0;
+  /// Per-request deadline forwarded to submit(); 0 = none.
+  double deadline_s = 0.0;
+  /// Fraction of requests submitted at low priority (sheddable by the
+  /// server's circuit breaker). Drawn from the run's seeded Rng.
+  double low_priority_fraction = 0.0;
+  /// Record one Sample per issued request (issue offset, latency,
+  /// status) so callers can build windowed/recovery timelines.
+  bool record_samples = false;
 };
 
 const char* to_string(LoadGenOptions::Mode mode);
@@ -67,12 +80,30 @@ struct LoadGenResult {
   std::int64_t ok = 0;
   std::int64_t rejected = 0;
   std::int64_t shutdown = 0;
+  std::int64_t expired = 0;    // deadline shed (client-visible timeouts)
+  std::int64_t errors = 0;     // forward errors after retry exhaustion
+  std::int64_t shed = 0;       // breaker-shed low-priority requests
+  std::int64_t retried = 0;    // ok responses that needed > 1 attempt
+  std::int64_t hedged = 0;     // ok responses with a hedge launched
+  /// Responses whose payload failed the integrity check (softmax row
+  /// no longer sums to ~1) — the corruption fault made client-visible.
+  std::int64_t corrupted = 0;
   /// End-to-end latency of ok requests (client-observed).
   runtime::LatencyHistogram latency;
   /// Queue wait of ok requests, as reported by the server.
   runtime::LatencyHistogram queue_wait;
   /// Mean batch size the ok requests rode in.
   double mean_batch = 0.0;
+
+  /// One record per issued request (LoadGenOptions::record_samples
+  /// only), in issue order: when it was issued relative to the run
+  /// start, how long it took, and how it ended.
+  struct Sample {
+    double issue_offset_s = 0.0;
+    double total_s = 0.0;
+    RequestStatus status = RequestStatus::kOk;
+  };
+  std::vector<Sample> samples;
 };
 
 /// Drives `server` with samples cycled from `inputs` (each of the

@@ -54,13 +54,39 @@ std::vector<std::int64_t> record_all(LatencyHistogram& h,
 }
 
 TEST(LatencyHistogram, EmptyBehaviour) {
+  // No samples ⇒ no order statistics. Every path returns the NaN
+  // sentinel — 0.0 is a legal latency and must never stand in for
+  // "nothing was measured" (a fully-shed gauntlet window would
+  // otherwise report a perfect 0 ns p99).
   const LatencyHistogram h;
   EXPECT_TRUE(h.empty());
   EXPECT_EQ(h.count(), 0);
-  EXPECT_EQ(h.percentile(50), 0.0);
-  EXPECT_EQ(h.min_s(), 0.0);
-  EXPECT_EQ(h.max_s(), 0.0);
-  EXPECT_EQ(h.mean_s(), 0.0);
+  for (const double p : {0.0, 50.0, 99.0, 100.0})
+    EXPECT_TRUE(std::isnan(h.percentile(p))) << "p=" << p;
+  EXPECT_TRUE(std::isnan(h.min_s()));
+  EXPECT_TRUE(std::isnan(h.max_s()));
+  EXPECT_TRUE(std::isnan(h.mean_s()));
+  EXPECT_EQ(h.total_s(), 0.0);  // a sum over nothing is still 0
+}
+
+TEST(LatencyHistogram, MergedEmptyStaysSentinel) {
+  // Merging empties in any combination must not manufacture samples:
+  // the merged histogram keeps the sentinel on every stat path.
+  LatencyHistogram a, b, c;
+  a.merge(b);
+  b.merge(c);
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(std::isnan(a.percentile(99)));
+  EXPECT_TRUE(std::isnan(a.min_s()));
+  EXPECT_TRUE(std::isnan(a.max_s()));
+  EXPECT_TRUE(std::isnan(a.mean_s()));
+  // ...and merging an empty into a live histogram must not disturb it.
+  LatencyHistogram live;
+  live.record_ns(5000);
+  live.merge(a);
+  EXPECT_DOUBLE_EQ(live.min_s(), 5000e-9);
+  EXPECT_FALSE(std::isnan(live.percentile(99)));
 }
 
 TEST(LatencyHistogram, SingleSample) {
