@@ -121,6 +121,18 @@ class BenchSession {
     return chaos_records_;
   }
 
+  /// Multi-tenant fleet variant; lands in the same --json-out (as a
+  /// "tenants" array when other record kinds are present).
+  const core::TenantRecord& add(core::TenantRecord record) {
+    tenant_records_.push_back(std::move(record));
+    std::cout << core::summarize(tenant_records_.back()) << "\n";
+    return tenant_records_.back();
+  }
+
+  const std::vector<core::TenantRecord>& tenant_records() const {
+    return tenant_records_;
+  }
+
   /// Writes --json-out and closes the trace scope (writing --trace-out).
   /// Idempotent; also runs from the destructor.
   void flush() {
@@ -145,6 +157,7 @@ class BenchSession {
     const int kinds = (serve_records_.empty() ? 0 : 1) +
                       (attack_records_.empty() ? 0 : 1) +
                       (chaos_records_.empty() ? 0 : 1) +
+                      (tenant_records_.empty() ? 0 : 1) +
                       (records_.empty() ? 0 : 1);
     if (kinds <= 1) {
       if (!serve_records_.empty())
@@ -153,6 +166,8 @@ class BenchSession {
         return core::write_attack_records_json(path, attack_records_);
       if (!chaos_records_.empty())
         return core::write_chaos_records_json(path, chaos_records_);
+      if (!tenant_records_.empty())
+        return core::write_tenant_records_json(path, tenant_records_);
       return core::write_records_json(path, records_);
     }
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -179,6 +194,11 @@ class BenchSession {
     if (!chaos_records_.empty()) {
       out << (first ? "" : ",")
           << "\"chaos\":" << core::chaos_records_json(chaos_records_);
+      first = false;
+    }
+    if (!tenant_records_.empty()) {
+      out << (first ? "" : ",")
+          << "\"tenants\":" << core::tenant_records_json(tenant_records_);
     }
     out << "}\n";
     return out.good();
@@ -197,6 +217,7 @@ class BenchSession {
   std::vector<core::ServeRecord> serve_records_;
   std::vector<core::AttackRecord> attack_records_;
   std::vector<core::ChaosRecord> chaos_records_;
+  std::vector<core::TenantRecord> tenant_records_;
 };
 
 /// FlagHandler for the attack benches' --attack-threads=N flag: number

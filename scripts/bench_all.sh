@@ -2,7 +2,8 @@
 # One-shot performance snapshot across every subsystem, written as
 # BENCH_<pr>.json so the repo carries a perf trajectory (ROADMAP 5a)
 # instead of scattered one-off numbers. Four headline metrics plus the
-# chaos gauntlet's supervised-recovery cell:
+# chaos gauntlet's supervised-recovery cell and the multi-tenant fleet
+# cell:
 #
 #   gemm_gflops      packed SIMD GEMM @ 384^3 (bench_micro_tensor)
 #   train_step_ms    mean optimizer step, TF-default MNIST net on CPU
@@ -11,6 +12,9 @@
 #   craft_p95_ms     best adversarial craft p95 (bench_fig8, FGSM)
 #   gauntlet         supervised crash cell: goodput, p99 inflation,
 #                    recovery window (bench_gauntlet --quick)
+#   fleet            weighted-fair + SLO overload cell (drr_slo):
+#                    worst-tenant p99, gold p99, aggregate goodput,
+#                    bronze sheds (bench_serve "tenants" records)
 #
 # Training/attack cells are step-capped (DLB_STEP_CAP, default 40) so a
 # snapshot takes minutes, not hours; per-step and per-attack times are
@@ -18,12 +22,12 @@
 #   DLB_STEP_CAP=0 scripts/bench_all.sh     # full-length training cells
 #
 # Usage: scripts/bench_all.sh [out.json] [build-dir]
-#        (defaults: BENCH_6.json, build)
+#        (defaults: BENCH_8.json, build)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_8.json}"
 BUILD_DIR="${2:-build}"
 export DLB_STEP_CAP="${DLB_STEP_CAP:-40}"
 
@@ -95,6 +99,17 @@ chaos = load("chaos.json", "chaos")
 crash_sup = next(r for r in chaos
                  if r["scenario"] == "crash" and r["supervised"])
 
+# Multi-tenant fleet: the weighted-fair + SLO-admission overload cell.
+# Worst-tenant p99 is the bronze flood paying for its own excess;
+# aggregate goodput shows the control plane still serving near
+# capacity while it sheds.
+tenants = [t for t in load("serve.json", "tenants")
+           if t["scenario"] == "drr_slo"]
+fleet_worst_p99 = max(t["latency"]["p99_s"] for t in tenants)
+fleet_gold_p99 = next(t["latency"]["p99_s"] for t in tenants
+                      if t["slo"] == "gold")
+fleet_goodput = sum(t["goodput_rps"] for t in tenants)
+
 snapshot = {
     "snapshot": os.path.splitext(os.path.basename(out))[0],
     "date": datetime.date.today().isoformat(),
@@ -113,6 +128,12 @@ snapshot = {
         "recovery_s": crash_sup["degradation"]["recovery_s"],
         "crashes": crash_sup["events"]["crashes"],
         "restarts": crash_sup["events"]["restarts"],
+    },
+    "fleet": {
+        "worst_tenant_p99_ms": round(1e3 * fleet_worst_p99, 3),
+        "gold_p99_ms": round(1e3 * fleet_gold_p99, 3),
+        "goodput_rps": round(fleet_goodput, 1),
+        "bronze_shed": sum(t["shed"] for t in tenants),
     },
 }
 with open(out, "w") as f:

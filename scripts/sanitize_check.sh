@@ -8,8 +8,9 @@
 # inference-serving tests (label `serve`), whose batcher moves tensors
 # across threads, and the serving chaos suite (label `chaos` — injected
 # replica crashes, stalls and retries exercise the supervisor's
-# requeue/restart lifetimes). For data races specifically, see
-# tsan_check.sh.
+# requeue/restart lifetimes), and the multi-tenant fleet suite (label
+# `fleet` — replica retirement and cross-thread promise hand-offs).
+# For data races specifically, see tsan_check.sh.
 #
 # Usage: scripts/sanitize_check.sh [build-dir]   (default: build-asan)
 # Equivalent preset: cmake --preset sanitize && cmake --build --preset sanitize
@@ -24,4 +25,4 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDLBENCH_SANITIZE="$SANITIZERS"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck|serve|kernels|attack|chaos' --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L 'fault|gradcheck|serve|kernels|attack|chaos|fleet' --output-on-failure -j "$(nproc)"

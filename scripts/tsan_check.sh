@@ -9,7 +9,9 @@
 # tests run the same shapes under several thread counts), and the
 # serving chaos suite (label `chaos` — crash requeues, stall
 # abandonment, hedged first-wins claims and retry heaps are exactly the
-# cross-thread hand-offs TSan exists for). ASan/UBSan
+# cross-thread hand-offs TSan exists for), and the multi-tenant fleet
+# suite (label `fleet` — dispatcher/watcher/autoscaler interplay over
+# live replica pools). ASan/UBSan
 # (sanitize_check.sh) cannot see data races; this is the suite that
 # would have caught a misordered stats commit or an unlocked histogram.
 #
@@ -26,5 +28,5 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDLBENCH_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -L 'serve|trace|fault|kernels|attack|chaos' --output-on-failure \
+ctest --test-dir "$BUILD_DIR" -L 'serve|trace|fault|kernels|attack|chaos|fleet' --output-on-failure \
   -j "$(nproc)"

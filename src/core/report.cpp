@@ -402,6 +402,78 @@ bool write_chaos_records_json(const std::string& path,
   return out.good();
 }
 
+util::Table tenant_table(const std::string& title,
+                         const std::vector<TenantRecord>& records) {
+  util::Table table({"Scenario", "Tenant", "SLO", "W", "Offered (r/s)",
+                     "Goodput (r/s)", "Shed", "Rej", "p50 (ms)", "p99 (ms)",
+                     "Replicas"});
+  table.set_title(title);
+  for (const auto& r : records) {
+    table.add_row({r.scenario, r.tenant, r.slo, std::to_string(r.weight),
+                   util::format_fixed(r.offered_rps, 0),
+                   util::format_fixed(r.goodput_rps, 0),
+                   std::to_string(r.shed), std::to_string(r.rejected),
+                   ms_cell(r.latency_p50_s), ms_cell(r.latency_p99_s),
+                   std::to_string(r.replicas_min) + "-" +
+                       std::to_string(r.replicas_max)});
+  }
+  return table;
+}
+
+std::string summarize(const TenantRecord& r) {
+  std::ostringstream os;
+  os << r.tenant << " [" << r.scenario << ", " << r.slo << ", w=" << r.weight
+     << "] on " << r.model << ": goodput "
+     << util::format_fixed(r.goodput_rps, 0) << "/"
+     << util::format_fixed(r.offered_rps, 0) << " r/s, p50 "
+     << ms_cell(r.latency_p50_s) << "ms, p99 " << ms_cell(r.latency_p99_s)
+     << "ms, shed " << r.shed << ", rejected " << r.rejected << ", replicas "
+     << r.replicas_min << "-" << r.replicas_max << " (" << r.scale_ups
+     << " up/" << r.scale_downs << " down)";
+  return os.str();
+}
+
+std::string tenant_record_json(const TenantRecord& r) {
+  std::ostringstream os;
+  os << "{\"scenario\":" << quoted(r.scenario)
+     << ",\"tenant\":" << quoted(r.tenant) << ",\"model\":" << quoted(r.model)
+     << ",\"slo\":" << quoted(r.slo) << ",\"weight\":" << r.weight
+     << ",\"offered_rps\":" << num(r.offered_rps)
+     << ",\"duration_s\":" << num(r.duration_s)
+     << ",\"submitted\":" << r.submitted << ",\"admitted\":" << r.admitted
+     << ",\"shed\":" << r.shed << ",\"rejected\":" << r.rejected
+     << ",\"ok\":" << r.ok << ",\"failed\":" << r.failed
+     << ",\"goodput_rps\":" << num(r.goodput_rps)
+     << ",\"latency\":{\"p50_s\":" << num(r.latency_p50_s)
+     << ",\"p99_s\":" << num(r.latency_p99_s)
+     << ",\"max_s\":" << num(r.latency_max_s)
+     << ",\"queue_wait_p99_s\":" << num(r.queue_wait_p99_s) << "}"
+     << ",\"replicas\":{\"min\":" << r.replicas_min
+     << ",\"max\":" << r.replicas_max << ",\"scale_ups\":" << r.scale_ups
+     << ",\"scale_downs\":" << r.scale_downs << "}}";
+  return os.str();
+}
+
+std::string tenant_records_json(const std::vector<TenantRecord>& records) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < records.size(); ++i)
+    os << (i ? ",\n " : "\n ") << tenant_record_json(records[i]);
+  os << "\n]\n";
+  return os.str();
+}
+
+bool write_tenant_records_json(const std::string& path,
+                               const std::vector<TenantRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "warning: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << tenant_records_json(records);
+  return out.good();
+}
+
 util::Table attack_table(const std::string& title,
                          const std::vector<AttackRecord>& records) {
   util::Table table({"Framework", "Attack", "Thr", "Attacks", "Success",

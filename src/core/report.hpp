@@ -195,6 +195,58 @@ std::string chaos_records_json(const std::vector<ChaosRecord>& records);
 bool write_chaos_records_json(const std::string& path,
                               const std::vector<ChaosRecord>& records);
 
+/// One tenant of a multi-tenant fleet cell: who submitted, under what
+/// SLO class and fair share, and what they experienced — per-tenant
+/// tail latency, goodput, shed/reject counts, and the replica staffing
+/// of their model over the run. Plain data like ServeRecord — core does
+/// not depend on src/serve; bench_serve fills this from
+/// serve::FleetTenantStats + serve::FleetModelStats.
+struct TenantRecord {
+  // Configuration.
+  std::string scenario;  // fleet cell label, e.g. "drr_slo", "fifo"
+  std::string tenant;
+  std::string model;  // registered fleet model the tenant targets
+  std::string slo;    // "bronze" / "silver" / "gold"
+  int weight = 1;
+  double offered_rps = 0.0;
+  double duration_s = 0.0;
+  // Outcome.
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t shed = 0;      // SLO watermark sheds
+  std::int64_t rejected = 0;  // tenant queue full
+  std::int64_t ok = 0;
+  std::int64_t failed = 0;
+  double goodput_rps = 0.0;  // ok responses / wall duration
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_max_s = 0.0;
+  double queue_wait_p99_s = 0.0;
+  // Replica staffing of the tenant's model (autoscaler timeline
+  // extremes plus how often it acted).
+  int replicas_min = 0;
+  int replicas_max = 0;
+  std::int64_t scale_ups = 0;
+  std::int64_t scale_downs = 0;
+};
+
+/// Fleet analogue of serve_table: Scenario / Tenant / SLO / Weight /
+/// Offered / Goodput / Shed / p50 / p99 / Replicas.
+util::Table tenant_table(const std::string& title,
+                         const std::vector<TenantRecord>& records);
+
+/// One-line summary of a tenant cell for log output.
+std::string summarize(const TenantRecord& record);
+
+/// One tenant cell as a JSON object / all cells as a JSON array.
+std::string tenant_record_json(const TenantRecord& record);
+std::string tenant_records_json(const std::vector<TenantRecord>& records);
+
+/// Writes tenant_records_json to `path`; warns and returns false on
+/// filesystem errors, like write_records_json.
+bool write_tenant_records_json(const std::string& path,
+                               const std::vector<TenantRecord>& records);
+
 /// One-line summary of a serving cell for log output.
 std::string summarize(const ServeRecord& record);
 

@@ -116,11 +116,11 @@ ClientTally run_closed(ModelServer& server,
       submit_options.deadline_s = options.deadline_s;
       while (Clock::now() < deadline) {
         const auto& input = inputs[rng.uniform_index(inputs.size())];
-        submit_options.priority =
+        submit_options.slo =
             options.low_priority_fraction > 0.0 &&
                     rng.bernoulli(options.low_priority_fraction)
-                ? 0
-                : 1;
+                ? SloClass::kBronze
+                : SloClass::kSilver;
         const double offset_s = seconds_since(start);
         ++tally.issued;
         tally.absorb(server.predict(input, submit_options), offset_s,
@@ -167,11 +167,11 @@ ClientTally run_open(ModelServer& server,
                                   : next < deadline) {
     std::this_thread::sleep_until(next);
     const auto& input = inputs[rng.uniform_index(inputs.size())];
-    submit_options.priority =
+    submit_options.slo =
         options.low_priority_fraction > 0.0 &&
                 rng.bernoulli(options.low_priority_fraction)
-            ? 0
-            : 1;
+            ? SloClass::kBronze
+            : SloClass::kSilver;
     ++tally.issued;
     if (options.record_samples) issue_offsets.push_back(seconds_since(start));
     futures.push_back(server.submit(input, submit_options));
@@ -211,6 +211,47 @@ const char* to_string(LoadGenOptions::Mode mode) {
       return "closed";
   }
   return "unknown";
+}
+
+std::vector<MixedArrival> make_mixed_trace(
+    const std::vector<TenantStream>& streams, double duration_s,
+    std::uint64_t seed, std::int64_t max_arrivals) {
+  DLB_CHECK(!streams.empty(), "make_mixed_trace needs at least one stream");
+  DLB_CHECK(duration_s > 0.0 || max_arrivals > 0,
+            "make_mixed_trace needs duration_s or max_arrivals");
+  util::Rng seeder(seed);
+  std::vector<MixedArrival> trace;
+  for (int i = 0; i < static_cast<int>(streams.size()); ++i) {
+    // One fork per stream, taken in index order, whether or not the
+    // stream produces arrivals — stream i's schedule is a function of
+    // (seed, i) only, never of its neighbours' rates.
+    util::Rng rng = seeder.fork();
+    const double rate = streams[static_cast<std::size_t>(i)].offered_rps;
+    DLB_CHECK(rate > 0.0, "TenantStream::offered_rps must be positive");
+    // No stream needs more than max_arrivals of its own arrivals: the
+    // final merged prefix can't contain more than that from any one
+    // stream, and capping per stream (not globally) keeps the bounded
+    // trace an exact prefix of the unbounded one.
+    std::int64_t produced = 0;
+    double t = poisson_gap_s(rng, rate);
+    while ((duration_s <= 0.0 || t < duration_s) &&
+           (max_arrivals <= 0 || produced < max_arrivals)) {
+      trace.push_back({t, i});
+      ++produced;
+      t += poisson_gap_s(rng, rate);
+    }
+  }
+  // Stable sort keeps equal-time arrivals in stream-index order — the
+  // merge is a pure function of the per-stream schedules.
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const MixedArrival& a, const MixedArrival& b) {
+                     return a.t_s < b.t_s ||
+                            (a.t_s == b.t_s && a.stream < b.stream);
+                   });
+  if (max_arrivals > 0 &&
+      static_cast<std::int64_t>(trace.size()) > max_arrivals)
+    trace.resize(static_cast<std::size_t>(max_arrivals));
+  return trace;
 }
 
 LoadGenResult run_load(ModelServer& server,

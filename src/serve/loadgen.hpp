@@ -20,6 +20,7 @@
 // are merged at the end (exercising the histogram's exact merge).
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "runtime/histogram.hpp"
@@ -50,8 +51,8 @@ struct LoadGenOptions {
   std::int64_t max_requests = 0;
   /// Per-request deadline forwarded to submit(); 0 = none.
   double deadline_s = 0.0;
-  /// Fraction of requests submitted at low priority (sheddable by the
-  /// server's circuit breaker). Drawn from the run's seeded Rng.
+  /// Fraction of requests submitted at SloClass::kBronze (sheddable by
+  /// the server's circuit breaker). Drawn from the run's seeded Rng.
   double low_priority_fraction = 0.0;
   /// Record one Sample per issued request (issue offset, latency,
   /// status) so callers can build windowed/recovery timelines.
@@ -112,5 +113,34 @@ struct LoadGenResult {
 LoadGenResult run_load(ModelServer& server,
                        const std::vector<tensor::Tensor>& inputs,
                        const LoadGenOptions& options);
+
+// ---- mixed multi-tenant arrival streams (serve/fleet) -------------------
+
+/// One tenant's open-loop traffic in a mixed multi-tenant trace.
+struct TenantStream {
+  /// Registered fleet tenant the arrivals are submitted as.
+  std::string tenant;
+  /// Marginal Poisson arrival rate of this stream alone.
+  double offered_rps = 100.0;
+};
+
+/// One arrival of a mixed trace: which stream fires at what offset.
+struct MixedArrival {
+  double t_s = 0.0;  // offset from trace start
+  int stream = 0;    // index into the TenantStream vector
+};
+
+/// Deterministic merged multi-tenant arrival schedule: each stream gets
+/// an independent Poisson process (its Rng is the stream-index-th fork
+/// of Rng(seed), so a stream's schedule depends only on (seed, index) —
+/// adding or changing *other* streams never perturbs it, which is what
+/// "interleaving preserves each tenant's marginal rate" means here).
+/// Streams are merged by arrival time with a stable stream-index
+/// tie-break, so the result is sorted and reproducible bit-for-bit.
+/// Bounded by whichever of duration_s / max_arrivals (0 = unbounded)
+/// binds first; at least one bound is required.
+std::vector<MixedArrival> make_mixed_trace(
+    const std::vector<TenantStream>& streams, double duration_s,
+    std::uint64_t seed, std::int64_t max_arrivals = 0);
 
 }  // namespace dlbench::serve

@@ -35,6 +35,18 @@ const char* to_string(RequestStatus status) {
   return "unknown";
 }
 
+const char* to_string(SloClass slo) {
+  switch (slo) {
+    case SloClass::kBronze:
+      return "bronze";
+    case SloClass::kSilver:
+      return "silver";
+    case SloClass::kGold:
+      return "gold";
+  }
+  return "unknown";
+}
+
 void StageLatencies::merge(const StageLatencies& other) {
   queue_wait.merge(other.queue_wait);
   assemble.merge(other.assemble);
@@ -102,6 +114,7 @@ ModelServer::ModelServer(nn::FrozenModel model, ServerOptions options)
     replicas_.reserve(static_cast<std::size_t>(options_.replicas));
     for (int i = 0; i < options_.replicas; ++i)
       replicas_.push_back(std::make_unique<Replica>(model_, i));
+    next_slot_id_ = options_.replicas;
     // Threads start only after every Replica is constructed so the slot
     // vector is never resized while a worker runs.
     for (auto& replica : replicas_)
@@ -160,7 +173,7 @@ std::future<Prediction> ModelServer::submit(tensor::Tensor input,
   }
   const std::int64_t enqueue_ns = now_ns();
   maybe_close_breaker_locked(enqueue_ns);
-  if (breaker_open_ && submit_options.priority <= 0) {
+  if (breaker_open_ && submit_options.slo == SloClass::kBronze) {
     shed_breaker_.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
     trace::counter_add("serve.requests", 1);
@@ -185,7 +198,7 @@ std::future<Prediction> ModelServer::submit(tensor::Tensor input,
   req->input = std::move(input);
   req->promise = std::move(promise);
   req->enqueue_ns = enqueue_ns;
-  req->priority = submit_options.priority;
+  req->slo = submit_options.slo;
   if (fault::serve_expire_request(req->id)) {
     req->deadline_ns = enqueue_ns - 1;  // arrives already expired
   } else if (submit_options.deadline_s > 0.0) {
@@ -332,6 +345,43 @@ void ModelServer::shutdown(bool drain) {
 std::size_t ModelServer::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+int ModelServer::replica_target() const {
+  std::lock_guard<std::mutex> fleet_lock(fleet_mu_);
+  return static_cast<int>(replicas_.size());
+}
+
+void ModelServer::resize_replicas(int target) {
+  DLB_CHECK(target >= 1, "resize_replicas target must be >= 1");
+  std::vector<Replica*> started;
+  {
+    std::lock_guard<std::mutex> fleet_lock(fleet_mu_);
+    const int current = static_cast<int>(replicas_.size());
+    for (int i = current; i < target; ++i) {
+      replicas_.push_back(std::make_unique<Replica>(model_, next_slot_id_++));
+      started.push_back(replicas_.back().get());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++live_replicas_;
+        all_dead_ = false;
+      }
+    }
+    // Shrink from the highest slots: mark retiring and move to retired_
+    // immediately so the supervisor never restarts them. The thread
+    // keeps running until it finishes its current batch (the slot
+    // unique_ptr is stable in retired_), so no in-flight work is ever
+    // dropped; live_replicas_ drops when the thread actually exits.
+    for (int i = current; i > target; --i) {
+      auto slot = std::move(replicas_.back());
+      replicas_.pop_back();
+      slot->retiring.store(true, std::memory_order_release);
+      retired_.push_back(std::move(slot));
+    }
+  }
+  for (Replica* replica : started)
+    replica->thread = std::thread([this, replica] { replica_loop(*replica); });
+  cv_.notify_all();
 }
 
 ServerStats ModelServer::stats() const {
@@ -532,6 +582,7 @@ void ModelServer::replica_loop(Replica& replica) {
     cv_.wait(lock, [&] {
       return hard_stop_.load(std::memory_order_acquire) ||
              replica.abandoned.load(std::memory_order_acquire) ||
+             replica.retiring.load(std::memory_order_acquire) ||
              !queue_.empty() ||
              (stopping_ && retry_heap_.empty() &&
               inflight_count_.load(std::memory_order_acquire) == 0);
@@ -539,6 +590,14 @@ void ModelServer::replica_loop(Replica& replica) {
     if (hard_stop_.load(std::memory_order_acquire) ||
         replica.abandoned.load(std::memory_order_acquire))
       return;
+    if (replica.retiring.load(std::memory_order_acquire)) {
+      // Scale-down retire point: only ever between batches, so the
+      // batch this replica just finished has fully scattered. The lease
+      // is released here, not in resize_replicas, so live_replicas_
+      // counts threads that can still touch work.
+      --live_replicas_;
+      return;
+    }
     if (queue_.empty()) {
       if (stopping_ && retry_heap_.empty() &&
           inflight_count_.load(std::memory_order_acquire) == 0)
@@ -580,7 +639,8 @@ void ModelServer::replica_loop(Replica& replica) {
           batch.front().req->enqueue_ns + delay.count();
       while (static_cast<std::int64_t>(batch.size()) < options_.max_batch &&
              !stopping_ && !hard_stop_.load(std::memory_order_acquire) &&
-             !replica.abandoned.load(std::memory_order_acquire)) {
+             !replica.abandoned.load(std::memory_order_acquire) &&
+             !replica.retiring.load(std::memory_order_acquire)) {
         const std::int64_t remaining_ns = deadline_ns - now_ns();
         if (remaining_ns <= 0) break;
         cv_.wait_for(lock, std::chrono::nanoseconds(remaining_ns));

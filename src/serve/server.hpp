@@ -30,7 +30,7 @@
 // transient forward error triggers per-request retry with exponential
 // backoff (up to `max_retries`); `hedge_delay_s` arms hedged
 // re-dispatch for stragglers, first result wins via an atomic
-// claim. A circuit breaker sheds low-priority load once the failure
+// claim. A circuit breaker sheds bronze-class load once the failure
 // rate over a sliding window crosses `breaker_threshold`, re-closing
 // after `breaker_probe_s`. All fault decisions come from
 // runtime/fault's seeded serve plan, so injected-event counts are
@@ -68,17 +68,29 @@ enum class RequestStatus {
   kShutdown,  // submitted after shutdown began, or abandoned by it
   kExpired,   // deadline passed before forward; shed, never batched
   kError,     // forward failed and retries were exhausted (or off)
-  kShed,      // low-priority load shed while the circuit breaker is open
+  kShed,      // shed by class: breaker open (bronze) or SLO admission
 };
 const char* to_string(RequestStatus status);
+
+/// Service-level class of one request, ordered: higher classes shed
+/// later. Shared by the circuit breaker (bronze load is shed while the
+/// breaker is open — the PR 6 "priority 0" contract) and the fleet
+/// layer's SLO admission control (serve/fleet, which sheds bronze
+/// first, then silver, and gold only at the global queue budget).
+enum class SloClass : int {
+  kBronze = 0,  // best-effort: first shed under any pressure
+  kSilver = 1,  // standard: the old "normal priority"
+  kGold = 2,    // premium: shed last, never by the breaker
+};
+const char* to_string(SloClass slo);
 
 /// Per-request submission policy (all optional).
 struct SubmitOptions {
   /// Client deadline in seconds from submission; 0 uses the server's
   /// default_deadline_s (which may itself be 0 = no deadline).
   double deadline_s = 0.0;
-  /// 0 = low priority (sheddable when the breaker is open), 1 = normal.
-  int priority = 1;
+  /// SLO class; bronze is sheddable when the circuit breaker is open.
+  SloClass slo = SloClass::kSilver;
 };
 
 /// What a client's future resolves to.
@@ -192,7 +204,7 @@ struct ServerStats {
   //    determinism contract applies; see DESIGN.md §13) --
   std::int64_t expired = 0;          // deadline-shed before forward
   std::int64_t errors = 0;           // failed after retry exhaustion
-  std::int64_t shed_breaker = 0;     // low-priority shed while open
+  std::int64_t shed_breaker = 0;     // bronze-class shed while open
   std::int64_t retries = 0;          // re-dispatches scheduled
   std::int64_t hedges = 0;           // hedged duplicate dispatches
   std::int64_t hedge_wins = 0;       // hedge delivered before primary
@@ -243,6 +255,17 @@ class ModelServer {
   /// Idempotent; the destructor calls shutdown(true).
   void shutdown(bool drain = true);
 
+  /// Replica lease/release hook for the fleet layer (serve/fleet).
+  /// Grows the fleet by staffing fresh slots, or shrinks it by retiring
+  /// the highest slots *after drain*: a retiring replica finishes the
+  /// batch it is processing (and scatters every result) before exiting,
+  /// so scale-down never strands or drops in-flight work. Target must
+  /// be >= 1. Thread-safe; concurrent with submit()/stats().
+  void resize_replicas(int target);
+
+  /// Currently staffed (non-retiring) replica slots.
+  int replica_target() const;
+
   /// Counters + merged per-stage latency histograms (includes retired
   /// replica incarnations).
   ServerStats stats() const;
@@ -260,7 +283,7 @@ class ModelServer {
     std::promise<Prediction> promise;
     std::int64_t enqueue_ns = 0;
     std::int64_t deadline_ns = 0;  // 0 = none
-    int priority = 1;
+    SloClass slo = SloClass::kSilver;
     std::atomic<bool> claimed{false};
     /// Set by the hedger; read by replicas during scatter.
     std::atomic<bool> hedged{false};
@@ -306,6 +329,9 @@ class ModelServer {
     std::atomic<bool> dead{false};
     /// Set by the supervisor when the stall watchdog gives up on it.
     std::atomic<bool> abandoned{false};
+    /// Set by resize_replicas on scale-down: finish the current batch,
+    /// then exit without taking another (retire-after-drain).
+    std::atomic<bool> retiring{false};
     /// now_ns() when the current batch began; 0 = idle. The stall
     /// watchdog reads this.
     std::atomic<std::int64_t> busy_since_ns{0};
@@ -378,10 +404,14 @@ class ModelServer {
   std::atomic<std::int64_t> inflight_count_{0};
 
   /// Fleet topology: slot vector + retired incarnations. Guarded by
-  /// fleet_mu_, never held together with mu_.
+  /// fleet_mu_, never held together with mu_ (fleet_mu_ first when
+  /// both are needed).
   mutable std::mutex fleet_mu_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<Replica>> retired_;
+  /// Next slot id for replicas added by resize_replicas; slot ids are
+  /// never reused so fault-plan slot keys stay unambiguous.
+  int next_slot_id_ = 0;
 
   std::thread supervisor_;
   std::mutex sup_mu_;

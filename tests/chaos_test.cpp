@@ -316,9 +316,9 @@ TEST(ChaosBreaker, OpensOnFailuresShedsLowPriorityThenCloses) {
   EXPECT_GE(stats.breaker_opens, 1);
   EXPECT_TRUE(stats.breaker_open);
 
-  // Low-priority load is shed while open; normal priority still flows.
+  // Bronze-class load is shed while open; silver still flows.
   dlbench::serve::SubmitOptions low;
-  low.priority = 0;
+  low.slo = dlbench::serve::SloClass::kBronze;
   EXPECT_EQ(server.predict(samples[1], low).status, RequestStatus::kShed);
   EXPECT_EQ(server.predict(samples[1]).status, RequestStatus::kError);
   EXPECT_GE(server.stats().shed_breaker, 1);
